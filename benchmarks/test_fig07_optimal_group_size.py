@@ -1,0 +1,34 @@
+"""Figure 7: optimal group size M vs. number of MDSs.
+
+Paper: optima of roughly {10: 3, 30: 6, 60: 7, 100: 9, 150: 11, 200: 14} —
+M grows slowly (~sqrt N) and the M/N ratio falls from 0.3 to 0.07.
+"""
+
+from repro.experiments import fig07
+from repro.experiments.fig07 import PAPER_OPTIMA
+
+
+def test_fig07_optimal_group_size(run_once):
+    result = run_once(fig07.run)
+    print()
+    print(result.format())
+    for row in result.rows:
+        paper_m = row["paper_optimal_m"]
+        for trace in ("hp", "ins", "res"):
+            measured = row[f"optimal_m_{trace}"]
+            assert abs(measured - paper_m) <= 1, (
+                f"N={row['num_servers']} {trace}: {measured} vs paper {paper_m}"
+            )
+
+    # M grows with N; the M/N ratio falls (the paper's annotation row).
+    hp_optima = [row["optimal_m_hp"] for row in result.rows]
+    assert hp_optima == sorted(hp_optima)
+    ratios = [row["ratio_hp"] for row in result.rows]
+    assert ratios[0] > ratios[-1]
+    assert ratios[0] >= 0.2  # ~0.3 in the paper at N=10
+    assert ratios[-1] <= 0.1  # ~0.07 in the paper at N=200
+
+    # "M is not very sensitive to the workloads studied" — per-N spread <= 1.
+    for row in result.rows:
+        values = [row["optimal_m_hp"], row["optimal_m_ins"], row["optimal_m_res"]]
+        assert max(values) - min(values) <= 1

@@ -1,0 +1,33 @@
+"""Figure 9: average latency vs. ops under the RES trace.
+
+Paper: same mechanism as Figure 8 at memory sizes 800/500/300 MB — HBA wins
+slightly with ample memory and collapses when the replica array spills.
+"""
+
+from repro.experiments import fig08_10
+from repro.experiments.fig08_10 import final_latency
+
+FRACTIONS = (1.25, 0.7, 0.4)
+
+
+def test_fig09_latency_res(run_once):
+    result = run_once(
+        fig08_10.run,
+        "RES",
+        memory_fractions=FRACTIONS,
+        num_servers=24,
+        group_size=5,
+        num_files=6_000,
+        num_ops=18_000,
+    )
+    print()
+    print(result.format())
+    ample, _, tight = FRACTIONS
+    assert final_latency(result, "hba", ample) <= (
+        final_latency(result, "ghba", ample) * 1.5
+    )
+    assert final_latency(result, "hba", tight) > (
+        2.0 * final_latency(result, "ghba", tight)
+    )
+    hba_finals = [final_latency(result, "hba", f) for f in FRACTIONS]
+    assert hba_finals == sorted(hba_finals)

@@ -1,0 +1,44 @@
+"""Figure 14: prototype query latency under the intensified HP trace.
+
+Paper: on the 60-node prototype, both schemes' latencies climb with load,
+and G-HBA decreases HBA's query latency by up to 31.2% under the heaviest
+workload.  Our prototype measures a reduction in the same band (the
+disk/memory cost ratio of the virtual service clock is coarser than the
+authors' hardware, so the measured reduction runs somewhat higher; see
+EXPERIMENTS.md).
+"""
+
+from repro.experiments import fig14
+from repro.experiments.fig14 import improvement_at_heaviest_load
+
+
+def test_fig14_prototype_latency(run_once):
+    result = run_once(
+        fig14.run,
+        num_nodes=20,
+        group_size=7,
+        num_files=2_000,
+        num_ops=3_000,
+        memory_fraction=0.5,
+    )
+    print()
+    print(result.format())
+    improvement = improvement_at_heaviest_load(result)
+    print(f"\nG-HBA reduction at heaviest load: {improvement * 100:.1f}% "
+          "(paper: up to 31.2%)")
+
+    # G-HBA must win at the heaviest load, by a margin in the paper's band
+    # (we accept 10..80% — same direction, same order of magnitude; our
+    # virtual disk/memory cost ratio is coarser than the authors' hardware,
+    # which widens the gap under deep saturation).
+    assert 0.10 < improvement < 0.80
+
+    # Both schemes' latency grows as the arrival gap shrinks (rising curves).
+    for scheme in ("hba", "ghba"):
+        series = [row["avg_latency_ms"] for row in result.filter(scheme=scheme)]
+        assert series[-1] > series[0]
+
+    # HBA ends strictly above G-HBA.
+    hba_last = result.filter(scheme="hba")[-1]["avg_latency_ms"]
+    ghba_last = result.filter(scheme="ghba")[-1]["avg_latency_ms"]
+    assert hba_last > ghba_last

@@ -1,0 +1,75 @@
+"""Micro-benchmarks: the Bloom filter substrate's hot paths.
+
+Not a paper figure — these quantify the constant factors underneath every
+experiment: single-filter probes, wide-array probes with the shared-index
+optimization, counting-filter churn and the XOR staleness check.
+"""
+
+from repro.bloom.algebra import bit_difference
+from repro.bloom.arrays import BloomFilterArray, LRUBloomFilterArray
+from repro.bloom.bloom_filter import BloomFilter
+from repro.bloom.counting import CountingBloomFilter
+
+
+def _populated_filter(seed=0, items=2_000):
+    bloom = BloomFilter.with_capacity(items, bits_per_item=16.0, seed=seed)
+    bloom.update(f"/bench/d{i % 7}/f{i}" for i in range(items))
+    return bloom
+
+
+def test_bloom_filter_add(benchmark):
+    bloom = BloomFilter.with_capacity(100_000, bits_per_item=16.0)
+    counter = iter(range(10_000_000))
+
+    def add():
+        bloom.add(f"/bench/file{next(counter)}")
+
+    benchmark(add)
+
+
+def test_bloom_filter_query(benchmark):
+    bloom = _populated_filter()
+    assert benchmark(bloom.query, "/bench/d1/f1") is True
+
+
+def test_bloom_array_query_30_replicas(benchmark):
+    """One L2-style probe across 30 same-family replicas."""
+    array = BloomFilterArray()
+    for home in range(30):
+        bloom = BloomFilter.with_capacity(2_000, bits_per_item=16.0)
+        bloom.update(f"/mds{home}/f{i}" for i in range(500))
+        array.add_replica(home, bloom)
+    result = benchmark(array.query, "/mds7/f123")
+    assert result.unique_hit == 7
+
+
+def test_lru_array_record_and_query(benchmark):
+    lru = LRUBloomFilterArray(capacity=4_096, filter_bits=1 << 14)
+    for i in range(4_000):
+        lru.record(f"/hot/f{i}", i % 30)
+
+    def probe():
+        lru.query("/hot/f100")
+
+    benchmark(probe)
+
+
+def test_counting_filter_add_remove(benchmark):
+    cbf = CountingBloomFilter(1 << 16, 6)
+    counter = iter(range(10_000_000))
+
+    def churn():
+        item = f"/churn/{next(counter)}"
+        cbf.add(item)
+        cbf.remove(item)
+
+    benchmark(churn)
+
+
+def test_xor_staleness_check(benchmark):
+    """The Section 3.4 update-rule comparison over 32k-bit filters."""
+    live = _populated_filter(seed=1)
+    replica = live.copy()
+    live.update(f"/drift/{i}" for i in range(50))
+    difference = benchmark(bit_difference, live, replica)
+    assert difference > 0

@@ -1,0 +1,77 @@
+"""Micro-benchmarks: end-to-end query throughput of the two schemes.
+
+Not a paper figure — these measure the harness itself: simulated queries
+per second for G-HBA and HBA at N = 30, memory-resident, with a warm LRU.
+Useful for spotting performance regressions in the query critical path.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines.hba import HBACluster
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+
+
+def _config():
+    return GHBAConfig(
+        max_group_size=6,
+        expected_files_per_mds=1_000,
+        lru_capacity=2_000,
+        lru_filter_bits=1 << 12,
+        seed=9,
+    )
+
+
+def _populated(cluster_class):
+    cluster = cluster_class(30, _config(), seed=9)
+    paths = [f"/tp/d{i % 11}/f{i}" for i in range(6_000)]
+    cluster.populate(paths)
+    cluster.synchronize_replicas(force=True)
+    return cluster, paths
+
+
+@pytest.fixture(scope="module")
+def ghba():
+    return _populated(GHBACluster)
+
+
+@pytest.fixture(scope="module")
+def hba():
+    return _populated(HBACluster)
+
+
+def test_ghba_query_throughput(benchmark, ghba):
+    cluster, paths = ghba
+    cycle = itertools.cycle(paths)
+
+    def query():
+        return cluster.query(next(cycle))
+
+    result = benchmark(query)
+    assert result.found
+
+
+def test_hba_query_throughput(benchmark, hba):
+    cluster, paths = hba
+    cycle = itertools.cycle(paths)
+
+    def query():
+        return cluster.query(next(cycle))
+
+    result = benchmark(query)
+    assert result.found
+
+
+def test_ghba_hot_path_throughput(benchmark, ghba):
+    """Repeated lookups of one hot path — the pure L1 fast path."""
+    cluster, paths = ghba
+    hot = paths[0]
+    cluster.query(hot, origin_id=0)
+
+    def query():
+        return cluster.query(hot, origin_id=0)
+
+    result = benchmark(query)
+    assert result.level.name == "L1"

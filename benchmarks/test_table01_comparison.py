@@ -1,0 +1,23 @@
+"""Table 1: qualitative scheme comparison (regeneration + claims)."""
+
+from repro.experiments import table01
+
+
+def test_table01_comparison(run_once):
+    result = run_once(table01.run)
+    print()
+    print(result.format())
+    schemes = {row["scheme"] for row in result.rows}
+    assert schemes == {
+        "hash_based",
+        "table_based",
+        "static_tree",
+        "dynamic_tree",
+        "bloom_filter",
+        "g_hba",
+    }
+    ghba = next(row for row in result.rows if row["scheme"] == "g_hba")
+    # The paper's G-HBA row: O(1) lookup, small migration, O(n/m) memory.
+    assert ghba["lookup_time"] == "O(1)"
+    assert ghba["migration_cost"] == "Small"
+    assert ghba["memory_overhead"] == "O(n/m)"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: build a G-HBA cluster, populate it, and look files up.
+
+Demonstrates the core public API in under a minute:
+
+1. configure and build a cluster of 30 metadata servers in groups of 6;
+2. populate it with a synthetic namespace;
+3. publish Bloom filter replicas;
+4. resolve lookups through the four-level hierarchy and inspect which
+   level served each query;
+5. add and remove a server and watch the invariants hold.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GHBACluster, GHBAConfig
+
+
+def main() -> None:
+    config = GHBAConfig(
+        max_group_size=6,          # the paper's optimal M for N=30
+        bits_per_file=16.0,
+        expected_files_per_mds=2_000,
+        lru_capacity=1_000,
+    )
+    cluster = GHBACluster(num_servers=30, config=config, seed=42)
+    print(f"built {cluster!r}")
+
+    # Populate: metadata is spread randomly across MDSs, as in the paper.
+    paths = [f"/projects/team{i % 12}/src/file_{i}.c" for i in range(6_000)]
+    placement = cluster.populate(paths)
+    cluster.synchronize_replicas(force=True)
+    print(f"populated {len(placement)} files across {cluster.num_servers} MDSs")
+
+    # Look up a few files; each query enters at a random MDS and walks
+    # L1 (LRU array) -> L2 (segment array) -> L3 (group) -> L4 (global).
+    for path in paths[:5]:
+        result = cluster.query(path)
+        assert result.home_id == placement[path]
+        print(
+            f"  {path}: home=MDS{result.home_id:<3} level={result.level.name} "
+            f"latency={result.latency_ms:.3f} ms  messages={result.messages}"
+        )
+
+    # Repeat queries hit the L1 LRU array once an origin has learned them.
+    hot = paths[0]
+    origin = cluster.server_ids()[0]
+    cluster.query(hot, origin_id=origin)
+    repeat = cluster.query(hot, origin_id=origin)
+    print(f"repeat lookup of {hot}: level={repeat.level.name} (expected L1)")
+
+    # Lookups for nonexistent files resolve definitively at L4.
+    missing = cluster.query("/no/such/file")
+    assert not missing.found
+    print(f"negative lookup: level={missing.level.name}, found={missing.found}")
+
+    # Dynamic reconfiguration: join and leave with light-weight migration.
+    report = cluster.add_server()
+    print(
+        f"added MDS{report.server_id}: migrated {report.migrated_replicas} "
+        f"replicas, {report.messages} messages, split={report.split}"
+    )
+    report = cluster.remove_server(cluster.server_ids()[3])
+    print(
+        f"removed MDS{report.server_id}: migrated {report.migrated_replicas} "
+        f"replicas, merged={report.merged}"
+    )
+    cluster.check_invariants()
+    print("invariants hold; per-level service mix so far:")
+    for level, fraction in sorted(cluster.level_fractions().items()):
+        print(f"  {level}: {fraction * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

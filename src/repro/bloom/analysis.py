@@ -1,0 +1,140 @@
+"""False-positive mathematics for Bloom filters and segment arrays.
+
+The paper's analysis (Sections 2.3 and 3.4) rests on two results:
+
+1.  The classic false-positive probability of a Bloom filter with ``m`` bits,
+    ``n`` items and ``k`` hash functions,
+
+        f0 = (1 - e^(-k n / m))^k,
+
+    minimized at ``k = (m / n) ln 2``, where it equals
+    ``(1/2)^k = 0.6185^(m/n)``.
+
+2.  Equation 1 — the probability that the *segment Bloom filter array* of one
+    MDS (holding ``theta`` replicas) produces a false unique hit:
+
+        f_g+ = theta * f0 * (1 - f0)^(theta - 1).
+
+    This is the probability that exactly one of ``theta`` non-owning filters
+    fires falsely.
+
+All functions here are pure and deterministic; the simulator and the optimal
+group-size model consume them directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Base of the optimal false-positive rate: (1/2)^(ln 2) ~= 0.6185.
+OPTIMAL_BASE = 0.5 ** math.log(2)
+
+
+def optimal_num_hashes(bits_per_item: float) -> int:
+    """Return the integer ``k`` minimizing the false-positive rate.
+
+    The continuous optimum is ``k = (m/n) ln 2``; we round to the nearest
+    integer and never go below 1.
+    """
+    if bits_per_item <= 0:
+        raise ValueError(f"bits_per_item must be positive, got {bits_per_item}")
+    return max(1, round(bits_per_item * math.log(2)))
+
+
+def false_positive_rate(num_bits: int, num_items: int, num_hashes: int) -> float:
+    """Return ``(1 - e^(-k n / m))^k`` for the given parameters.
+
+    An empty filter (``num_items == 0``) never reports a false positive.
+    """
+    if num_bits <= 0:
+        raise ValueError(f"num_bits must be positive, got {num_bits}")
+    if num_items < 0:
+        raise ValueError(f"num_items must be non-negative, got {num_items}")
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+    if num_items == 0:
+        return 0.0
+    return (1.0 - math.exp(-num_hashes * num_items / num_bits)) ** num_hashes
+
+
+def optimal_false_positive_rate(bits_per_item: float) -> float:
+    """Return ``0.6185^(m/n)``, the false rate at the optimal ``k``."""
+    if bits_per_item <= 0:
+        raise ValueError(f"bits_per_item must be positive, got {bits_per_item}")
+    return OPTIMAL_BASE ** bits_per_item
+
+
+def segment_array_false_positive_rate(theta: int, bits_per_item: float) -> float:
+    """Paper Equation 1: false unique-hit rate of one MDS's segment array.
+
+    Parameters
+    ----------
+    theta:
+        Number of Bloom filter replicas stored locally on the MDS.
+    bits_per_item:
+        The filter bit ratio ``m/n`` (bits per file).
+
+    Returns
+    -------
+    float
+        ``theta * f0 * (1 - f0)^(theta - 1)`` with
+        ``f0 = 0.6185^(m/n)``.
+    """
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    if theta == 0:
+        return 0.0
+    f0 = optimal_false_positive_rate(bits_per_item)
+    return theta * f0 * (1.0 - f0) ** (theta - 1)
+
+
+def expected_fill_ratio(num_bits: int, num_items: int, num_hashes: int) -> float:
+    """Return the expected fraction of set bits, ``1 - e^(-k n / m)``."""
+    if num_bits <= 0:
+        raise ValueError(f"num_bits must be positive, got {num_bits}")
+    if num_items < 0:
+        raise ValueError(f"num_items must be non-negative, got {num_items}")
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+    return 1.0 - math.exp(-num_hashes * num_items / num_bits)
+
+
+def required_bits(num_items: int, target_fpr: float) -> int:
+    """Return the number of bits needed to hold ``num_items`` at ``target_fpr``.
+
+    Uses the standard sizing formula ``m = -n ln(p) / (ln 2)^2`` assuming the
+    optimal ``k`` is used.
+    """
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if not 0.0 < target_fpr < 1.0:
+        raise ValueError(f"target_fpr must be in (0, 1), got {target_fpr}")
+    return max(1, math.ceil(-num_items * math.log(target_fpr) / (math.log(2) ** 2)))
+
+
+def unique_hit_probability(
+    num_filters: int,
+    owner_present: bool,
+    fpr: float,
+) -> float:
+    """Probability that an array of filters returns exactly one hit.
+
+    Models an array of ``num_filters`` filters where at most one (the owner's)
+    genuinely contains the item and each non-owner fires falsely with
+    probability ``fpr``, independently.
+
+    If the owner's filter is present the unique hit requires every non-owner
+    to stay silent; otherwise exactly one non-owner must fire falsely.
+    """
+    if num_filters < 0:
+        raise ValueError(f"num_filters must be non-negative, got {num_filters}")
+    if not 0.0 <= fpr <= 1.0:
+        raise ValueError(f"fpr must be in [0, 1], got {fpr}")
+    if owner_present:
+        others = num_filters - 1
+        if others < 0:
+            raise ValueError("owner_present requires at least one filter")
+        return (1.0 - fpr) ** others
+    if num_filters == 0:
+        return 0.0
+    return num_filters * fpr * (1.0 - fpr) ** (num_filters - 1)

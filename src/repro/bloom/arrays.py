@@ -1,0 +1,540 @@
+"""Bloom filter arrays — the building blocks of G-HBA's query levels.
+
+Three array structures from the paper are implemented here:
+
+- :class:`BloomFilterArray` — an ordered collection of Bloom filter replicas,
+  one per home MDS.  A membership query probes every filter; a *unique hit*
+  (exactly one filter fires) names the likely home MDS.  This is the
+  structure behind both the L2 *segment* array (a subset of all replicas)
+  and the flat array of the HBA/BFA baselines (all replicas).
+- :class:`LRUBloomFilterArray` — the L1 array capturing temporal locality:
+  a capacity-bounded LRU of recently resolved ``file → home MDS`` mappings,
+  represented per-MDS by counting Bloom filters so that evictions cleanly
+  clear bits.
+- :class:`IDBloomFilterArray` — the IDBFA of Section 2.4: for each MDS in a
+  group, a counting Bloom filter of the replica IDs it currently hosts,
+  used to localize a replica before updating it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.bloom.counting import CountingBloomFilter
+
+
+@dataclass(frozen=True)
+class ArrayLookup:
+    """Result of probing a Bloom filter array.
+
+    Attributes
+    ----------
+    hits:
+        IDs (home MDS identifiers) of the filters that reported membership.
+    probes:
+        Number of filters examined.
+    """
+
+    hits: Tuple[int, ...]
+    probes: int
+
+    @property
+    def is_unique(self) -> bool:
+        """True when exactly one filter fired — the array's success case."""
+        return len(self.hits) == 1
+
+    @property
+    def is_miss(self) -> bool:
+        """True when zero or multiple filters fired (paper: a 'miss')."""
+        return not self.is_unique
+
+    @property
+    def unique_hit(self) -> int:
+        """The single hit ID; raises if the lookup was not unique."""
+        if not self.is_unique:
+            raise ValueError(f"lookup is not unique: hits={self.hits}")
+        return self.hits[0]
+
+
+class BloomFilterArray:
+    """An ordered array of Bloom filter replicas keyed by home MDS ID."""
+
+    def __init__(self) -> None:
+        self._filters: "OrderedDict[int, BloomFilter]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Replica management
+    # ------------------------------------------------------------------
+    def add_replica(self, home_id: int, bloom: BloomFilter) -> None:
+        """Install ``bloom`` as the replica for ``home_id``.
+
+        Raises
+        ------
+        ValueError
+            If a replica for ``home_id`` already exists (use
+            :meth:`replace_replica` for updates).
+        """
+        if home_id in self._filters:
+            raise ValueError(f"replica for MDS {home_id} already present")
+        self._filters[home_id] = bloom
+
+    def replace_replica(self, home_id: int, bloom: BloomFilter) -> None:
+        """Overwrite the replica for ``home_id`` (replica update path)."""
+        if home_id not in self._filters:
+            raise KeyError(f"no replica for MDS {home_id}")
+        self._filters[home_id] = bloom
+
+    def remove_replica(self, home_id: int) -> BloomFilter:
+        """Remove and return the replica for ``home_id``."""
+        try:
+            return self._filters.pop(home_id)
+        except KeyError:
+            raise KeyError(f"no replica for MDS {home_id}") from None
+
+    def get_replica(self, home_id: int) -> BloomFilter:
+        try:
+            return self._filters[home_id]
+        except KeyError:
+            raise KeyError(f"no replica for MDS {home_id}") from None
+
+    def __contains__(self, home_id: int) -> bool:
+        return home_id in self._filters
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._filters)
+
+    def home_ids(self) -> List[int]:
+        """IDs of the MDSs whose replicas this array holds, in order."""
+        return list(self._filters)
+
+    def items(self) -> Iterable[Tuple[int, BloomFilter]]:
+        return self._filters.items()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, item: object) -> ArrayLookup:
+        """Probe every filter; return the set of hits.
+
+        Filters sharing a hash family (the common case: every MDS uses the
+        same geometry so replicas stay comparable) are probed with a single
+        index computation — a large constant-factor win for wide arrays.
+        """
+        index_cache: Dict[Tuple[int, int, int], List[int]] = {}
+        hits: List[int] = []
+        for home_id, bloom in self._filters.items():
+            params = bloom.hash_family.parameters()
+            indices = index_cache.get(params)
+            if indices is None:
+                indices = bloom.hash_family.indices(item)
+                index_cache[params] = indices
+            bits = bloom.bits
+            if all(bits.get(index) for index in indices):
+                hits.append(home_id)
+        return ArrayLookup(hits=tuple(hits), probes=len(self._filters))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total payload size of all replicas."""
+        return sum(bloom.size_bytes() for bloom in self._filters.values())
+
+    def __repr__(self) -> str:
+        return f"BloomFilterArray(replicas={len(self._filters)})"
+
+
+#: Replacement policies supported by the L1 array.  The paper uses LRU and
+#: names better replacement as future work (Section 7); FIFO and LFU are
+#: provided for the replacement-policy ablation.
+REPLACEMENT_POLICIES = ("lru", "fifo", "lfu")
+
+
+class LRUBloomFilterArray:
+    """The L1 array: a bounded cache of hot ``file → home MDS`` mappings.
+
+    The ground truth is a capacity-bounded dictionary evicted by the chosen
+    replacement policy (LRU by default, as in the paper).  For faithful
+    Bloom-filter semantics, each home MDS is additionally summarized by a
+    counting Bloom filter over the hot files it owns; queries probe the
+    filters (so false positives can and do occur), and evictions decrement
+    counters so the filters track the cache contents exactly.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of hot entries retained.
+    filter_bits:
+        Counter cells per per-MDS filter.
+    num_hashes:
+        Hash functions per filter.
+    seed:
+        Hash family seed.
+    policy:
+        ``"lru"`` (recency, the paper's choice), ``"fifo"`` (insertion
+        order, no refresh) or ``"lfu"`` (least frequently used; ties evict
+        the newest entry — including the just-admitted one — so one-hit
+        wonders never displace established entries, and ghost frequency
+        counts let repeatedly requested items win admission eventually).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        filter_bits: int = 4096,
+        num_hashes: int = 6,
+        seed: int = 0,
+        policy: str = "lru",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"policy must be one of {REPLACEMENT_POLICIES}, got {policy!r}"
+            )
+        self._capacity = capacity
+        self._filter_bits = filter_bits
+        self._num_hashes = num_hashes
+        self._seed = seed
+        self._policy = policy
+        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        self._use_counts: Dict[object, int] = {}
+        self._hits = 0
+        self._misses = 0
+        self._filters: Dict[int, CountingBloomFilter] = {}
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def num_filters(self) -> int:
+        """Number of per-home counting filters currently held."""
+        return len(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Unique-hit count since construction (for hit-rate metrics)."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _filter_for(self, home_id: int) -> CountingBloomFilter:
+        bloom = self._filters.get(home_id)
+        if bloom is None:
+            bloom = CountingBloomFilter(
+                self._filter_bits, self._num_hashes, self._seed
+            )
+            self._filters[home_id] = bloom
+        return bloom
+
+    def record(self, item: object, home_id: int) -> None:
+        """Record that ``item`` was resolved to ``home_id`` (query success).
+
+        Under LRU, existing entries are refreshed (moved to the MRU
+        position); under FIFO they keep their insertion rank; under LFU
+        their use count increments.  If the home changed (metadata
+        migrated), the stale mapping is replaced.  Capacity overflow evicts
+        one victim by policy and clears its filter bits.
+        """
+        if self._policy == "fifo" and item in self._entries:
+            previous = self._entries[item]
+            if previous != home_id:
+                self._filters[previous].discard(item)
+                self._entries[item] = home_id
+                self._filter_for(home_id).add(item)
+            return
+        previous = self._entries.pop(item, None)
+        if previous is not None and previous != home_id:
+            self._filters[previous].discard(item)
+            previous = None
+        self._entries[item] = home_id
+        self._use_counts[item] = self._use_counts.get(item, 0) + 1
+        if previous is None:
+            self._filter_for(home_id).add(item)
+        if len(self._entries) > self._capacity:
+            self._evict_one()
+
+    def _pick_victim(self) -> object:
+        if self._policy == "lfu":
+            # Least frequently used; ties evict the *newest* entry, so
+            # established entries keep tenure instead of thrashing when a
+            # scan floods the cache with count-1 items.
+            victim = None
+            victim_key = None
+            for position, item in enumerate(self._entries):
+                key = (self._use_counts.get(item, 0), -position)
+                if victim_key is None or key < victim_key:
+                    victim_key = key
+                    victim = item
+            return victim
+        # LRU and FIFO both evict the oldest entry in ``_entries`` order
+        # (LRU refreshes order on use; FIFO never does).
+        return next(iter(self._entries))
+
+    def _evict_one(self) -> None:
+        item = self._pick_victim()
+        home_id = self._entries.pop(item)
+        if self._policy == "lfu":
+            # Keep a ghost frequency count so a repeatedly requested item
+            # eventually out-scores incumbents and gets admitted (TinyLFU
+            # style); bound the ghost table to a multiple of capacity.
+            if len(self._use_counts) > 8 * self._capacity:
+                self._use_counts = {
+                    key: count
+                    for key, count in self._use_counts.items()
+                    if key in self._entries
+                }
+        else:
+            self._use_counts.pop(item, None)
+        self._filters[home_id].discard(item)
+
+    def invalidate(self, item: object) -> bool:
+        """Drop ``item`` from the cache (e.g. after a false forward)."""
+        home_id = self._entries.pop(item, None)
+        if home_id is None:
+            return False
+        self._use_counts.pop(item, None)
+        self._filters[home_id].discard(item)
+        return True
+
+    def invalidate_home(self, home_id: int) -> int:
+        """Drop every entry pointing at ``home_id`` (MDS departure).
+
+        Returns the number of entries removed.
+        """
+        victims = [
+            item for item, home in self._entries.items() if home == home_id
+        ]
+        for item in victims:
+            del self._entries[item]
+            self._use_counts.pop(item, None)
+        self._filters.pop(home_id, None)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._use_counts.clear()
+        self._filters.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, item: object) -> ArrayLookup:
+        """Probe the per-MDS counting filters (L1 lookup).
+
+        Updates the hit/miss counters used for Figure 13's per-level rates.
+        Every per-home filter shares one hash family, so the indices are
+        computed once per distinct geometry.
+        """
+        index_cache: Dict[Tuple[int, int, int], List[int]] = {}
+        hits_list: List[int] = []
+        for home_id, bloom in self._filters.items():
+            params = bloom.hash_family.parameters()
+            indices = index_cache.get(params)
+            if indices is None:
+                indices = bloom.hash_family.indices(item)
+                index_cache[params] = indices
+            if bloom.contains_indices(indices):
+                hits_list.append(home_id)
+        lookup = ArrayLookup(hits=tuple(hits_list), probes=len(self._filters))
+        if lookup.is_unique:
+            self._hits += 1
+        else:
+            self._misses += 1
+        return lookup
+
+    def touch(self, item: object) -> None:
+        """Register a use of ``item`` without changing its mapping.
+
+        Refreshes recency under LRU, bumps the use count under LFU, and is
+        a no-op under FIFO.
+        """
+        if item not in self._entries:
+            return
+        self._use_counts[item] = self._use_counts.get(item, 0) + 1
+        if self._policy == "lru":
+            home_id = self._entries.pop(item)
+            self._entries[item] = home_id
+
+    def peek(self, item: object) -> Optional[int]:
+        """Ground-truth lookup (no Bloom probing, no stat updates)."""
+        return self._entries.get(item)
+
+    def size_bytes(self) -> int:
+        return sum(bloom.size_bytes() for bloom in self._filters.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUBloomFilterArray(capacity={self._capacity}, "
+            f"entries={len(self._entries)}, homes={len(self._filters)})"
+        )
+
+
+class IDBloomFilterArray:
+    """The IDBFA (paper Section 2.4): replica localization within a group.
+
+    For every MDS in the group, a counting Bloom filter represents the set of
+    replica IDs (home MDS identifiers of the replicated filters) that
+    physically reside on that MDS.  Updating a replica first queries this
+    array to find the hosting MDS; counting filters let replica migrations
+    and MDS departures delete entries.
+
+    The class also maintains an exact mirror of the placements so that false
+    positives can be *detected* (the paper notes a falsely identified MDS
+    simply drops the update), and so invariants can be asserted in tests.
+    """
+
+    def __init__(
+        self,
+        num_counters: int = 512,
+        num_hashes: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self._num_counters = num_counters
+        self._num_hashes = num_hashes
+        self._seed = seed
+        self._filters: Dict[int, CountingBloomFilter] = {}
+        self._placements: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Membership of member MDSs
+    # ------------------------------------------------------------------
+    def add_member(self, mds_id: int) -> None:
+        """Register a group member with an empty ID filter."""
+        if mds_id in self._filters:
+            raise ValueError(f"MDS {mds_id} already a member")
+        self._filters[mds_id] = CountingBloomFilter(
+            self._num_counters, self._num_hashes, self._seed
+        )
+
+    def remove_member(self, mds_id: int) -> List[int]:
+        """Deregister ``mds_id``; return the replica IDs it was hosting."""
+        if mds_id not in self._filters:
+            raise KeyError(f"MDS {mds_id} is not a member")
+        del self._filters[mds_id]
+        orphans = [
+            replica_id
+            for replica_id, host in self._placements.items()
+            if host == mds_id
+        ]
+        for replica_id in orphans:
+            del self._placements[replica_id]
+        return orphans
+
+    def members(self) -> List[int]:
+        return list(self._filters)
+
+    def __contains__(self, mds_id: int) -> bool:
+        return mds_id in self._filters
+
+    # ------------------------------------------------------------------
+    # Replica placement records
+    # ------------------------------------------------------------------
+    def place(self, replica_id: int, mds_id: int) -> None:
+        """Record that the replica of MDS ``replica_id`` lives on ``mds_id``."""
+        if mds_id not in self._filters:
+            raise KeyError(f"MDS {mds_id} is not a member")
+        if replica_id in self._placements:
+            raise ValueError(
+                f"replica {replica_id} already placed on "
+                f"MDS {self._placements[replica_id]}"
+            )
+        self._filters[mds_id].add(replica_id)
+        self._placements[replica_id] = mds_id
+
+    def unplace(self, replica_id: int) -> int:
+        """Remove the placement record; return the MDS that hosted it."""
+        try:
+            mds_id = self._placements.pop(replica_id)
+        except KeyError:
+            raise KeyError(f"replica {replica_id} is not placed") from None
+        self._filters[mds_id].remove(replica_id)
+        return mds_id
+
+    def move(self, replica_id: int, new_mds_id: int) -> int:
+        """Migrate a placement record; return the previous host."""
+        old = self.unplace(replica_id)
+        self.place(replica_id, new_mds_id)
+        return old
+
+    def host_of(self, replica_id: int) -> Optional[int]:
+        """Exact (ground-truth) host of ``replica_id``, or None."""
+        return self._placements.get(replica_id)
+
+    def replicas_on(self, mds_id: int) -> List[int]:
+        """Exact list of replica IDs hosted on ``mds_id``."""
+        return [
+            replica_id
+            for replica_id, host in self._placements.items()
+            if host == mds_id
+        ]
+
+    def replica_count(self, mds_id: int) -> int:
+        return len(self.replicas_on(mds_id))
+
+    def placements(self) -> Dict[int, int]:
+        """Copy of the exact placement map (replica ID → host MDS)."""
+        return dict(self._placements)
+
+    # ------------------------------------------------------------------
+    # Probabilistic lookup (the actual IDBFA query)
+    # ------------------------------------------------------------------
+    def locate(self, replica_id: int) -> ArrayLookup:
+        """Probe every member's ID filter for ``replica_id``.
+
+        Multiple hits are possible (false positives); the caller contacts
+        every candidate and the false ones drop the request, exactly as the
+        paper describes.
+        """
+        hits = tuple(
+            mds_id
+            for mds_id, bloom in self._filters.items()
+            if bloom.query(replica_id)
+        )
+        return ArrayLookup(hits=hits, probes=len(self._filters))
+
+    def copy(self) -> "IDBloomFilterArray":
+        """Deep copy — multicast to a newly joined MDS clones the IDBFA."""
+        clone = IDBloomFilterArray(
+            self._num_counters, self._num_hashes, self._seed
+        )
+        clone._filters = {
+            mds_id: bloom.copy() for mds_id, bloom in self._filters.items()
+        }
+        clone._placements = dict(self._placements)
+        return clone
+
+    def size_bytes(self) -> int:
+        return sum(bloom.size_bytes() for bloom in self._filters.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"IDBloomFilterArray(members={len(self._filters)}, "
+            f"placements={len(self._placements)})"
+        )

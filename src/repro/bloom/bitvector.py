@@ -1,0 +1,187 @@
+"""A compact, fixed-size bit vector backed by a ``bytearray``.
+
+The Bloom filters in this package store their state in a :class:`BitVector`.
+The class intentionally exposes only the operations Bloom filters need:
+single-bit get/set/clear, population count, and the bitwise algebra
+(OR / AND / XOR) that underpins the filter algebra of paper Section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class BitVector:
+    """A fixed-length sequence of bits.
+
+    Parameters
+    ----------
+    num_bits:
+        Length of the vector.  Must be positive.
+    """
+
+    __slots__ = ("_num_bits", "_bytes")
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        self._num_bits = num_bits
+        self._bytes = bytearray((num_bits + 7) // 8)
+
+    # ------------------------------------------------------------------
+    # Basic bit access
+    # ------------------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        """Length of the vector in bits."""
+        return self._num_bits
+
+    def _check_index(self, index: int) -> int:
+        if index < 0:
+            index += self._num_bits
+        if not 0 <= index < self._num_bits:
+            raise IndexError(
+                f"bit index {index} out of range for vector of {self._num_bits} bits"
+            )
+        return index
+
+    def get(self, index: int) -> bool:
+        """Return the bit at ``index``."""
+        index = self._check_index(index)
+        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+
+    def set(self, index: int) -> None:
+        """Set the bit at ``index`` to 1."""
+        index = self._check_index(index)
+        self._bytes[index >> 3] |= 1 << (index & 7)
+
+    def clear(self, index: int) -> None:
+        """Set the bit at ``index`` to 0."""
+        index = self._check_index(index)
+        self._bytes[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def __len__(self) -> int:
+        return self._num_bits
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self._num_bits):
+            yield self.get(i)
+
+    # ------------------------------------------------------------------
+    # Whole-vector operations
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear every bit."""
+        for i in range(len(self._bytes)):
+            self._bytes[i] = 0
+
+    def popcount(self) -> int:
+        """Return the number of set bits."""
+        return sum(bin(byte).count("1") for byte in self._bytes)
+
+    def fill_ratio(self) -> float:
+        """Return the fraction of bits that are set."""
+        return self.popcount() / self._num_bits
+
+    def copy(self) -> "BitVector":
+        """Return a deep copy of this vector."""
+        clone = BitVector(self._num_bits)
+        clone._bytes[:] = self._bytes
+        return clone
+
+    def _check_compatible(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeError(f"expected BitVector, got {type(other).__name__}")
+        if other._num_bits != self._num_bits:
+            raise ValueError(
+                "bit vectors have different lengths: "
+                f"{self._num_bits} vs {other._num_bits}"
+            )
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        result = BitVector(self._num_bits)
+        result._bytes[:] = bytes(a | b for a, b in zip(self._bytes, other._bytes))
+        return result
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        result = BitVector(self._num_bits)
+        result._bytes[:] = bytes(a & b for a, b in zip(self._bytes, other._bytes))
+        return result
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        result = BitVector(self._num_bits)
+        result._bytes[:] = bytes(a ^ b for a, b in zip(self._bytes, other._bytes))
+        return result
+
+    def __ior__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        for i, byte in enumerate(other._bytes):
+            self._bytes[i] |= byte
+        return self
+
+    def __iand__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        for i, byte in enumerate(other._bytes):
+            self._bytes[i] &= byte
+        return self
+
+    def __ixor__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        for i, byte in enumerate(other._bytes):
+            self._bytes[i] ^= byte
+        return self
+
+    def hamming_distance(self, other: "BitVector") -> int:
+        """Return the number of bit positions where the vectors differ."""
+        self._check_compatible(other)
+        return sum(
+            bin(a ^ b).count("1") for a, b in zip(self._bytes, other._bytes)
+        )
+
+    def is_subset_of(self, other: "BitVector") -> bool:
+        """Return True if every set bit of this vector is also set in ``other``."""
+        self._check_compatible(other)
+        return all((a & ~b) == 0 for a, b in zip(self._bytes, other._bytes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._num_bits == other._num_bits and self._bytes == other._bytes
+
+    def __hash__(self) -> int:
+        return hash((self._num_bits, bytes(self._bytes)))
+
+    def __repr__(self) -> str:
+        return f"BitVector(num_bits={self._num_bits}, set={self.popcount()})"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the vector payload (without the length)."""
+        return bytes(self._bytes)
+
+    @classmethod
+    def from_bytes(cls, num_bits: int, payload: bytes) -> "BitVector":
+        """Reconstruct a vector of ``num_bits`` bits from ``payload``."""
+        expected = (num_bits + 7) // 8
+        if len(payload) != expected:
+            raise ValueError(
+                f"payload has {len(payload)} bytes, expected {expected} "
+                f"for {num_bits} bits"
+            )
+        vector = cls(num_bits)
+        vector._bytes[:] = payload
+        return vector

@@ -1,0 +1,210 @@
+"""The standard Bloom filter (Bloom, 1970).
+
+Each metadata server in G-HBA summarizes the set of files whose metadata it
+stores locally in one :class:`BloomFilter`, then replicates the filter to
+other servers.  The filter therefore needs to be cheaply copyable,
+serializable, and comparable bit-by-bit (for the XOR-threshold update rule of
+paper Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bloom.bitvector import BitVector
+from repro.bloom.hashing import HashFamily
+from repro.bloom.analysis import false_positive_rate, optimal_num_hashes
+
+
+class BloomFilter:
+    """A standard Bloom filter over string / bytes / int items.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit vector (``m``).
+    num_hashes:
+        Number of hash functions (``k``).
+    seed:
+        Seed for the hash family.  Filters that must be unioned, intersected
+        or compared (originals and their replicas) must share ``num_bits``,
+        ``num_hashes`` and ``seed``.
+    """
+
+    __slots__ = ("_bits", "_hashes", "_num_items")
+
+    def __init__(self, num_bits: int, num_hashes: int, seed: int = 0) -> None:
+        self._bits = BitVector(num_bits)
+        self._hashes = HashFamily(num_hashes, num_bits, seed)
+        self._num_items = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_capacity(
+        cls,
+        expected_items: int,
+        bits_per_item: float = 8.0,
+        seed: int = 0,
+    ) -> "BloomFilter":
+        """Build a filter sized for ``expected_items`` at ``bits_per_item``.
+
+        The paper evaluates bit/file ratios of 8 and 16 (Table 5); the number
+        of hash functions is the optimal ``k = (m/n) ln 2`` rounded.
+        """
+        if expected_items <= 0:
+            raise ValueError(
+                f"expected_items must be positive, got {expected_items}"
+            )
+        if bits_per_item <= 0:
+            raise ValueError(
+                f"bits_per_item must be positive, got {bits_per_item}"
+            )
+        num_bits = max(8, int(expected_items * bits_per_item))
+        return cls(num_bits, optimal_num_hashes(bits_per_item), seed)
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[object],
+        num_bits: int,
+        num_hashes: int,
+        seed: int = 0,
+    ) -> "BloomFilter":
+        """Build a filter containing ``items``."""
+        bloom = cls(num_bits, num_hashes, seed)
+        for item in items:
+            bloom.add(item)
+        return bloom
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        return self._bits.num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self._hashes.num_hashes
+
+    @property
+    def seed(self) -> int:
+        return self._hashes.seed
+
+    @property
+    def num_items(self) -> int:
+        """Number of ``add`` calls recorded (re-adding counts again)."""
+        return self._num_items
+
+    @property
+    def bits(self) -> BitVector:
+        """The underlying bit vector (shared, not a copy)."""
+        return self._bits
+
+    @property
+    def hash_family(self) -> HashFamily:
+        return self._hashes
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def add(self, item: object) -> None:
+        """Insert ``item`` into the filter."""
+        for index in self._hashes.indices(item):
+            self._bits.set(index)
+        self._num_items += 1
+
+    def update(self, items: Iterable[object]) -> None:
+        """Insert every item of ``items``."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: object) -> bool:
+        return self.query(item)
+
+    def query(self, item: object) -> bool:
+        """Return True if ``item`` *may* be in the set (no false negatives)."""
+        return all(self._bits.get(index) for index in self._hashes.indices(item))
+
+    def clear(self) -> None:
+        """Remove all items (reset every bit)."""
+        self._bits.reset()
+        self._num_items = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def fill_ratio(self) -> float:
+        """Fraction of set bits."""
+        return self._bits.fill_ratio()
+
+    def estimated_fpr(self) -> float:
+        """Estimated false-positive rate from the analytic formula."""
+        return false_positive_rate(self.num_bits, self._num_items, self.num_hashes)
+
+    def is_compatible(self, other: "BloomFilter") -> bool:
+        """True if ``other`` uses the same geometry and hash family."""
+        return self._hashes.is_compatible(other._hashes)
+
+    def copy(self) -> "BloomFilter":
+        """Return an independent deep copy (a *replica* of this filter)."""
+        clone = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        clone._bits = self._bits.copy()
+        clone._num_items = self._num_items
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BloomFilter):
+            return NotImplemented
+        return self.is_compatible(other) and self._bits == other._bits
+
+    def __hash__(self) -> int:  # pragma: no cover - filters are mutable
+        raise TypeError("BloomFilter is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"num_items={self._num_items}, fill={self.fill_ratio():.3f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization — used by the prototype's wire messages
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize geometry + payload into a self-describing byte string."""
+        header = (
+            self.num_bits.to_bytes(8, "big")
+            + self.num_hashes.to_bytes(4, "big")
+            + self.seed.to_bytes(8, "big", signed=True)
+            + self._num_items.to_bytes(8, "big")
+        )
+        return header + self._bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        """Reconstruct a filter serialized with :meth:`to_bytes`."""
+        if len(payload) < 28:
+            raise ValueError("payload too short for a BloomFilter header")
+        num_bits = int.from_bytes(payload[0:8], "big")
+        num_hashes = int.from_bytes(payload[8:12], "big")
+        seed = int.from_bytes(payload[12:20], "big", signed=True)
+        num_items = int.from_bytes(payload[20:28], "big")
+        bloom = cls(num_bits, num_hashes, seed)
+        bloom._bits = BitVector.from_bytes(num_bits, payload[28:])
+        bloom._num_items = num_items
+        return bloom
+
+    # ------------------------------------------------------------------
+    # Internal helper used by the algebra module
+    # ------------------------------------------------------------------
+    def _with_bits(self, bits: BitVector, num_items: int) -> "BloomFilter":
+        result = BloomFilter(self.num_bits, self.num_hashes, self.seed)
+        result._bits = bits
+        result._num_items = num_items
+        return result
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory size of the filter payload in bytes."""
+        return (self.num_bits + 7) // 8

@@ -1,0 +1,186 @@
+"""Counting Bloom filter (Fan et al., Summary Cache, 2000).
+
+The paper's identification Bloom filter array (IDBFA, Section 2.4) uses
+counting Bloom filters so that a replica's location record can be *deleted*
+when the replica migrates or its MDS departs.  Each position holds a small
+counter instead of a single bit; insertion increments, deletion decrements,
+and membership tests check that every counter is non-zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.bloom.hashing import HashFamily
+
+
+class CountingBloomFilter:
+    """A Bloom filter whose positions are counters, supporting deletion.
+
+    Parameters
+    ----------
+    num_counters:
+        Number of counter cells (the ``m`` of the equivalent plain filter).
+    num_hashes:
+        Number of hash functions (``k``).
+    seed:
+        Hash family seed.
+    counter_bits:
+        Width of each counter; counters saturate at ``2**counter_bits - 1``
+        rather than overflowing (4 bits is the classic choice and overflows
+        with negligible probability).
+    """
+
+    __slots__ = ("_counters", "_hashes", "_num_items", "_max_count")
+
+    def __init__(
+        self,
+        num_counters: int,
+        num_hashes: int,
+        seed: int = 0,
+        counter_bits: int = 4,
+    ) -> None:
+        if num_counters <= 0:
+            raise ValueError(f"num_counters must be positive, got {num_counters}")
+        if counter_bits <= 0 or counter_bits > 16:
+            raise ValueError(f"counter_bits must be in [1, 16], got {counter_bits}")
+        self._counters: List[int] = [0] * num_counters
+        self._hashes = HashFamily(num_hashes, num_counters, seed)
+        self._num_items = 0
+        self._max_count = (1 << counter_bits) - 1
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_counters(self) -> int:
+        return len(self._counters)
+
+    @property
+    def hash_family(self) -> HashFamily:
+        return self._hashes
+
+    @property
+    def num_hashes(self) -> int:
+        return self._hashes.num_hashes
+
+    @property
+    def seed(self) -> int:
+        return self._hashes.seed
+
+    @property
+    def num_items(self) -> int:
+        """Net number of items currently represented (adds minus removes)."""
+        return self._num_items
+
+    @property
+    def max_count(self) -> int:
+        return self._max_count
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def add(self, item: object) -> None:
+        """Insert ``item``, incrementing (saturating) its counters."""
+        for index in self._hashes.indices(item):
+            if self._counters[index] < self._max_count:
+                self._counters[index] += 1
+        self._num_items += 1
+
+    def update(self, items: Iterable[object]) -> None:
+        for item in items:
+            self.add(item)
+
+    def remove(self, item: object) -> None:
+        """Delete ``item``, decrementing its counters.
+
+        Raises
+        ------
+        KeyError
+            If the filter definitely does not contain ``item`` (some counter
+            is already zero).  Deleting a never-inserted item that happens to
+            collide is undetectable — that is inherent to counting filters —
+            but deleting an item whose counters are zero is always an error.
+        """
+        indices = self._hashes.indices(item)
+        if any(self._counters[i] == 0 for i in indices):
+            raise KeyError(f"item not present in counting filter: {item!r}")
+        for index in indices:
+            # Saturated counters cannot be decremented safely: the true count
+            # is unknown.  Leaving them saturated keeps false negatives out.
+            if self._counters[index] < self._max_count:
+                self._counters[index] -= 1
+        self._num_items = max(0, self._num_items - 1)
+
+    def discard(self, item: object) -> bool:
+        """Like :meth:`remove` but returns False instead of raising."""
+        try:
+            self.remove(item)
+        except KeyError:
+            return False
+        return True
+
+    def __contains__(self, item: object) -> bool:
+        return self.query(item)
+
+    def query(self, item: object) -> bool:
+        """Return True if ``item`` *may* be present."""
+        return all(self._counters[i] > 0 for i in self._hashes.indices(item))
+
+    def contains_indices(self, indices: List[int]) -> bool:
+        """Membership test with precomputed indices (shared-family probes)."""
+        return all(self._counters[i] > 0 for i in indices)
+
+    def count_estimate(self, item: object) -> int:
+        """Minimum counter value across the item's positions.
+
+        This is an upper bound on the number of times ``item`` was added
+        (the count-min sketch estimate restricted to this filter).
+        """
+        return min(self._counters[i] for i in self._hashes.indices(item))
+
+    def clear(self) -> None:
+        for i in range(len(self._counters)):
+            self._counters[i] = 0
+        self._num_items = 0
+
+    # ------------------------------------------------------------------
+    # Conversions and introspection
+    # ------------------------------------------------------------------
+    def to_bloom_filter(self) -> BloomFilter:
+        """Project to a plain Bloom filter (counter > 0 → bit set)."""
+        bloom = BloomFilter(self.num_counters, self.num_hashes, self.seed)
+        for index, count in enumerate(self._counters):
+            if count > 0:
+                bloom.bits.set(index)
+        bloom._num_items = self._num_items
+        return bloom
+
+    def fill_ratio(self) -> float:
+        """Fraction of non-zero counters."""
+        nonzero = sum(1 for count in self._counters if count > 0)
+        return nonzero / len(self._counters)
+
+    def copy(self) -> "CountingBloomFilter":
+        clone = CountingBloomFilter(
+            self.num_counters, self.num_hashes, self.seed
+        )
+        clone._max_count = self._max_count
+        clone._counters = list(self._counters)
+        clone._num_items = self._num_items
+        return clone
+
+    def is_compatible(self, other: "CountingBloomFilter") -> bool:
+        return self._hashes.is_compatible(other._hashes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(num_counters={self.num_counters}, "
+            f"num_hashes={self.num_hashes}, num_items={self._num_items})"
+        )
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory payload size (counter_bits per cell)."""
+        bits = len(self._counters) * max(1, self._max_count.bit_length())
+        return (bits + 7) // 8

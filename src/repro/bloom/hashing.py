@@ -1,0 +1,107 @@
+"""Hash families for Bloom filters.
+
+The paper assumes ``k`` independent hash functions per filter.  We derive them
+with the classic Kirsch-Mitzenmacher *double hashing* construction,
+``h_i(x) = h1(x) + i * h2(x) mod m``, which preserves the asymptotic
+false-positive behaviour of truly independent hashes while needing only two
+base digests.  The base digests come from ``hashlib.blake2b`` with distinct
+keys, so two :class:`HashFamily` instances built with the same parameters
+produce identical indices — a property the replica machinery relies on
+(a Bloom filter replica must probe the same bits as the original).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+
+def _digest64(data: bytes, salt: bytes) -> int:
+    """Return a 64-bit digest of ``data`` salted with ``salt``."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8, key=salt).digest(), "big"
+    )
+
+
+class HashFamily:
+    """``k`` index functions over ``[0, m)`` via double hashing.
+
+    Parameters
+    ----------
+    num_hashes:
+        Number of index functions (``k``).
+    num_bits:
+        Size of the target bit space (``m``).
+    seed:
+        Integer seed; families with equal ``(num_hashes, num_bits, seed)``
+        are interchangeable.
+    """
+
+    __slots__ = ("_num_hashes", "_num_bits", "_seed", "_salt1", "_salt2")
+
+    def __init__(self, num_hashes: int, num_bits: int, seed: int = 0) -> None:
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        self._num_hashes = num_hashes
+        self._num_bits = num_bits
+        self._seed = seed
+        self._salt1 = seed.to_bytes(8, "big", signed=True) + b"\x01"
+        self._salt2 = seed.to_bytes(8, "big", signed=True) + b"\x02"
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    @property
+    def num_bits(self) -> int:
+        return self._num_bits
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def _encode(self, item: object) -> bytes:
+        if isinstance(item, bytes):
+            return item
+        if isinstance(item, str):
+            return item.encode("utf-8")
+        if isinstance(item, int):
+            return item.to_bytes(16, "big", signed=True)
+        raise TypeError(
+            f"items must be str, bytes or int, got {type(item).__name__}"
+        )
+
+    def indices(self, item: object) -> List[int]:
+        """Return the ``k`` bit indices for ``item``."""
+        data = self._encode(item)
+        h1 = _digest64(data, self._salt1)
+        h2 = _digest64(data, self._salt2)
+        # An even h2 could cycle through a strict subset of positions when m
+        # is even; forcing it odd keeps the probe sequence well distributed.
+        h2 |= 1
+        m = self._num_bits
+        return [(h1 + i * h2) % m for i in range(self._num_hashes)]
+
+    def parameters(self) -> Tuple[int, int, int]:
+        """Return ``(num_hashes, num_bits, seed)``."""
+        return (self._num_hashes, self._num_bits, self._seed)
+
+    def is_compatible(self, other: "HashFamily") -> bool:
+        """True if both families map items to identical index sequences."""
+        return self.parameters() == other.parameters()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return self.parameters() == other.parameters()
+
+    def __hash__(self) -> int:
+        return hash(self.parameters())
+
+    def __repr__(self) -> str:
+        return (
+            f"HashFamily(num_hashes={self._num_hashes}, "
+            f"num_bits={self._num_bits}, seed={self._seed})"
+        )

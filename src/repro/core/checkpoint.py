@@ -1,0 +1,197 @@
+"""Cluster checkpoint / restore (the recovery substrate behind Table 1).
+
+A metadata service must survive restarts: this module serializes a
+:class:`~repro.core.cluster.GHBACluster`'s durable state — configuration,
+every server's metadata records and Bloom filter, the group structure and
+replica placements — to a single JSON document (filter payloads are
+base64), and reconstructs an equivalent cluster from it.
+
+What is durable vs. rebuilt:
+
+- **durable**: config, metadata records, local filters, published filters,
+  group membership, replica placements (and the replica payloads).
+- **rebuilt**: LRU arrays (caches warm up again), metrics, crashed-state
+  tombstones — none of these affect correctness.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.core.group import Group
+from repro.core.server import MetadataServer
+from repro.metadata.attributes import FileKind, FileMetadata
+
+PathLike = Union[str, Path]
+
+#: Bumped on any incompatible format change.
+FORMAT_VERSION = 1
+
+_CONFIG_FIELDS = (
+    "max_group_size",
+    "bits_per_file",
+    "expected_files_per_mds",
+    "lru_capacity",
+    "lru_filter_bits",
+    "lru_num_hashes",
+    "lru_policy",
+    "cooperative_lru",
+    "cooperative_fanout",
+    "update_threshold_bits",
+    "memory_budget_bytes",
+    "memory_mode",
+    "seed",
+    "heartbeat_interval_s",
+    "heartbeat_timeout_s",
+)
+
+
+def _encode_filter(bloom: BloomFilter) -> str:
+    return base64.b64encode(bloom.to_bytes()).decode("ascii")
+
+
+def _decode_filter(payload: str) -> BloomFilter:
+    return BloomFilter.from_bytes(base64.b64decode(payload))
+
+
+def _encode_record(meta: FileMetadata) -> Dict[str, Any]:
+    return {
+        "path": meta.path,
+        "inode": meta.inode,
+        "kind": meta.kind.value,
+        "size": meta.size,
+        "uid": meta.uid,
+        "gid": meta.gid,
+        "mode": meta.mode,
+        "atime": meta.atime,
+        "mtime": meta.mtime,
+        "ctime": meta.ctime,
+        "nlink": meta.nlink,
+        "symlink_target": meta.symlink_target,
+    }
+
+
+def _decode_record(data: Dict[str, Any]) -> FileMetadata:
+    return FileMetadata(
+        path=data["path"],
+        inode=data["inode"],
+        kind=FileKind(data["kind"]),
+        size=data["size"],
+        uid=data["uid"],
+        gid=data["gid"],
+        mode=data["mode"],
+        atime=data["atime"],
+        mtime=data["mtime"],
+        ctime=data["ctime"],
+        nlink=data["nlink"],
+        symlink_target=data.get("symlink_target", ""),
+    )
+
+
+def snapshot(cluster: GHBACluster) -> Dict[str, Any]:
+    """Serialize the cluster's durable state to a JSON-safe document."""
+    servers = []
+    for server_id in cluster.server_ids():
+        server = cluster.servers[server_id]
+        servers.append(
+            {
+                "server_id": server_id,
+                "records": [
+                    _encode_record(meta) for meta in server.store.records()
+                ],
+                "local_filter": _encode_filter(server.local_filter),
+                "published_filter": _encode_filter(server.published_filter),
+                "replicas": {
+                    str(home_id): _encode_filter(
+                        server.segment.get_replica(home_id)
+                    )
+                    for home_id in server.hosted_replicas()
+                },
+            }
+        )
+    groups = [
+        {
+            "group_id": group.group_id,
+            "members": group.member_ids(),
+            "placements": {
+                str(replica_id): host
+                for replica_id, host in group.idbfa.placements().items()
+            },
+        }
+        for group in cluster.groups.values()
+    ]
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            field: getattr(cluster.config, field) for field in _CONFIG_FIELDS
+        },
+        "next_server_id": cluster._next_server_id,
+        "next_group_id": cluster._next_group_id,
+        "servers": servers,
+        "groups": groups,
+    }
+
+
+def restore(document: Dict[str, Any], seed: int = 0) -> GHBACluster:
+    """Reconstruct a cluster from a :func:`snapshot` document."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    config = GHBAConfig(**document["config"])
+    # Build a minimal shell through the normal constructor, then replace
+    # its bootstrap state with the serialized one.
+    cluster = GHBACluster(1, config, seed=seed)
+    cluster.servers.clear()
+    cluster.groups.clear()
+    cluster._group_of.clear()
+    cluster._crashed_stores.clear()
+    cluster._next_server_id = document["next_server_id"]
+    cluster._next_group_id = document["next_group_id"]
+
+    for entry in document["servers"]:
+        server = MetadataServer(entry["server_id"], config)
+        server.insert_many(
+            [_decode_record(record) for record in entry["records"]]
+        )
+        server.local_filter = _decode_filter(entry["local_filter"])
+        server.published_filter = _decode_filter(entry["published_filter"])
+        for home_id, payload in entry["replicas"].items():
+            server.host_replica(int(home_id), _decode_filter(payload))
+        server._refresh_memory_accounting()
+        cluster.servers[server.server_id] = server
+
+    for entry in document["groups"]:
+        group = Group(entry["group_id"])
+        for member_id in entry["members"]:
+            group.idbfa.add_member(member_id)
+            group._members[member_id] = cluster.servers[member_id]
+            cluster._group_of[member_id] = group.group_id
+        for replica_id, host in entry["placements"].items():
+            group.idbfa.place(int(replica_id), host)
+        cluster.groups[group.group_id] = group
+
+    cluster.check_invariants()
+    return cluster
+
+
+def save(cluster: GHBACluster, path: PathLike) -> int:
+    """Write a checkpoint file; returns its size in bytes."""
+    document = snapshot(cluster)
+    payload = json.dumps(document, separators=(",", ":"))
+    Path(path).write_text(payload, encoding="utf-8")
+    return len(payload)
+
+
+def load(path: PathLike, seed: int = 0) -> GHBACluster:
+    """Read a checkpoint file back into a live cluster."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return restore(document, seed=seed)

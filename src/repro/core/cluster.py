@@ -1,0 +1,778 @@
+"""The G-HBA cluster: multi-level query, replication and reconfiguration.
+
+This module ties servers and groups into the full scheme:
+
+- **Query critical path** (Section 2.3): L1 local LRU array → L2 local
+  segment array → L3 group multicast → L4 global multicast, with latency and
+  message accounting per level and the false-positive penalty paths.
+- **Replica updates** (Sections 2.4, 3.4): each home MDS compares its live
+  filter against the last published version; when the XOR bit-difference
+  exceeds the configured threshold, the fresh replica is shipped to *one MDS
+  per group*, located through each group's IDBFA.
+- **Reconfiguration** (Sections 3.1-3.2): MDS join (with light-weight
+  intra-group offloading), departure, group splitting when a group exceeds
+  M, and merging when two groups fit within M.
+- **Fail-over** (Section 4.5): failed servers are excised from every Bloom
+  structure so the service degrades gracefully instead of misrouting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.bloom.compressed import transfer_cost_report
+from repro.core.config import GHBAConfig
+from repro.core.group import Group, GroupError
+from repro.core.query import QueryLevel, QueryResult
+from repro.core.server import (
+    CONSUMER_METADATA,
+    MetadataServer,
+)
+from repro.metadata.attributes import FileMetadata
+from repro.sim.stats import Counter, LatencyRecorder
+
+
+@dataclass
+class SyncReport:
+    """Outcome of a replica synchronization pass.
+
+    ``bytes_raw`` / ``bytes_compressed`` account the replica payloads
+    shipped (each update sends one filter per contacted group), with the
+    compressed figure reflecting DEFLATE transfer (the related-work
+    compressed-Bloom-filter optimization; see ``repro.bloom.compressed``).
+    """
+
+    servers_updated: int = 0
+    groups_contacted: int = 0
+    messages: int = 0
+    false_candidates: int = 0
+    latency_ms: float = 0.0
+    bytes_raw: int = 0
+    bytes_compressed: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Compressed payload relative to raw (1.0 when nothing shipped)."""
+        if self.bytes_raw == 0:
+            return 1.0
+        return self.bytes_compressed / self.bytes_raw
+
+
+@dataclass
+class ReconfigReport:
+    """Outcome of a join/leave/split/merge operation."""
+
+    server_id: int
+    migrated_replicas: int = 0
+    messages: int = 0
+    split: bool = False
+    merged: bool = False
+    new_group_id: Optional[int] = None
+
+
+class GHBACluster:
+    """A complete G-HBA deployment of ``num_servers`` MDSs.
+
+    Parameters
+    ----------
+    num_servers:
+        Initial number of metadata servers (N).
+    config:
+        Scheme tunables; ``config.max_group_size`` is the paper's M.
+    seed:
+        Seed for home-MDS assignment and origin selection.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        config: Optional[GHBAConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self.config = config or GHBAConfig()
+        self._rng = random.Random(seed)
+        self._next_server_id = 0
+        self._next_group_id = 0
+        self.servers: Dict[int, MetadataServer] = {}
+        self.groups: Dict[int, Group] = {}
+        self._group_of: Dict[int, int] = {}
+        # Metrics
+        self.level_counter = Counter()
+        self.latency = LatencyRecorder(seed=seed)
+        self.total_messages = 0
+        self.total_false_forwards = 0
+        #: Metadata of crashed servers, as persisted on their disks —
+        #: recoverable via :meth:`recover_server` (Table 1's recovery).
+        self._crashed_stores: Dict[int, List[FileMetadata]] = {}
+        self._bootstrap(num_servers)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _new_server(self) -> MetadataServer:
+        server = MetadataServer(self._next_server_id, self.config)
+        self.servers[server.server_id] = server
+        self._next_server_id += 1
+        return server
+
+    def _new_group(self) -> Group:
+        group = Group(self._next_group_id)
+        self.groups[group.group_id] = group
+        self._next_group_id += 1
+        return group
+
+    def _bootstrap(self, num_servers: int) -> None:
+        """Create servers, pack them into balanced groups, install replicas.
+
+        ``ceil(N / M)`` groups whose sizes differ by at most one — a
+        trailing singleton group would otherwise host the entire mirror
+        alone, defeating the load balance the scheme is built for.
+        """
+        max_size = self.config.max_group_size
+        for _ in range(num_servers):
+            self._new_server()
+        server_ids = sorted(self.servers)
+        num_groups = -(-len(server_ids) // max_size)  # ceil
+        base_size, extra = divmod(len(server_ids), num_groups)
+        cursor = 0
+        for index in range(num_groups):
+            size = base_size + (1 if index < extra else 0)
+            group = self._new_group()
+            for server_id in server_ids[cursor : cursor + size]:
+                group.idbfa.add_member(server_id)
+                group._members[server_id] = self.servers[server_id]
+                self._group_of[server_id] = group.group_id
+            cursor += size
+        for group in self.groups.values():
+            for server_id in server_ids:
+                if server_id in group:
+                    continue
+                replica = self.servers[server_id].publish_filter()
+                group.install_replica(server_id, replica)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, server_id: int) -> Group:
+        return self.groups[self._group_of[server_id]]
+
+    def server_ids(self) -> List[int]:
+        return sorted(self.servers)
+
+    def home_of(self, path: str) -> Optional[int]:
+        """Ground-truth home MDS of ``path`` (None if nonexistent)."""
+        for server in self.servers.values():
+            if server.has_metadata(path):
+                return server.server_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def insert_file(
+        self, meta: FileMetadata, home_id: Optional[int] = None
+    ) -> int:
+        """Store ``meta`` on ``home_id`` (random MDS when omitted)."""
+        if home_id is None:
+            home_id = self._rng.choice(sorted(self.servers))
+        self.servers[home_id].insert_metadata(meta)
+        return home_id
+
+    def populate(
+        self,
+        paths: Iterable[str],
+        policy: str = "random",
+    ) -> Dict[str, int]:
+        """Bulk-insert fresh metadata records for ``paths``.
+
+        ``policy`` is ``"random"`` (the paper: "all MDSs are initially
+        populated randomly") or ``"round_robin"``.  Returns the placement
+        map.  Call :meth:`synchronize_replicas` afterwards to publish
+        filters.
+        """
+        if policy not in ("random", "round_robin"):
+            raise ValueError(f"unknown policy {policy!r}")
+        server_ids = sorted(self.servers)
+        placement: Dict[str, int] = {}
+        batches: Dict[int, List[FileMetadata]] = {sid: [] for sid in server_ids}
+        inode = sum(s.file_count for s in self.servers.values())
+        for index, path in enumerate(paths):
+            if policy == "random":
+                home = self._rng.choice(server_ids)
+            else:
+                home = server_ids[index % len(server_ids)]
+            batches[home].append(FileMetadata(path=path, inode=inode + index))
+            placement[path] = home
+        for server_id, records in batches.items():
+            if records:
+                self.servers[server_id].insert_many(records)
+        return placement
+
+    def rename_subtree(self, old_prefix: str, new_prefix: str) -> int:
+        """Rename a directory subtree — with *zero* metadata migration.
+
+        This is the operation that cripples pathname-hash placement
+        (Section 1.1: "prohibitively high when an upper directory is
+        renamed").  Under G-HBA the home MDS of each record is unchanged:
+        every server re-keys its own matching records and adds the new
+        paths to its local filter.  The old paths' bits linger in the
+        filter until the next rebuild (ordinary staleness; queries for the
+        old names now resolve NEGATIVE at L4), and replicas refresh through
+        the usual XOR-threshold synchronization.
+
+        Returns the number of records renamed (none of which crossed
+        servers).
+        """
+        if not old_prefix.startswith("/") or not new_prefix.startswith("/"):
+            raise ValueError("prefixes must be absolute paths")
+        if old_prefix == new_prefix:
+            return 0
+        renamed = 0
+        all_victims: List[str] = []
+        for server in self.servers.values():
+            victims = [
+                path
+                for path in server.store.paths()
+                if path == old_prefix or path.startswith(old_prefix + "/")
+            ]
+            for path in victims:
+                meta = server.store.get(path)
+                server.store.remove(path)
+                new_meta = meta.renamed(new_prefix + path[len(old_prefix):])
+                server.store.put(new_meta)
+                server.local_filter.add(new_meta.path)
+                renamed += 1
+            if victims:
+                server._refresh_memory_accounting()
+                all_victims.extend(victims)
+        # Stale LRU entries for the old names are dropped at every origin.
+        for server in self.servers.values():
+            for path in all_victims:
+                server.lru.invalidate(path)
+        return renamed
+
+    # ------------------------------------------------------------------
+    # The four-level query critical path (Section 2.3)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        path: str,
+        origin_id: Optional[int] = None,
+        outstanding: int = 0,
+    ) -> QueryResult:
+        """Resolve the home MDS of ``path`` through the L1-L4 hierarchy.
+
+        Parameters
+        ----------
+        path:
+            Pathname to look up.
+        origin_id:
+            MDS receiving the client request (random when omitted —
+            "each request can randomly choose an MDS", Section 4).
+        outstanding:
+            Concurrent requests in flight at the involved servers; adds
+            queueing delay per remote hop (drives latency growth with
+            operation intensity).
+        """
+        net = self.config.network
+        if origin_id is None:
+            origin_id = self._rng.choice(sorted(self.servers))
+        origin = self.servers[origin_id]
+        latency = net.queueing_ms(outstanding)
+        messages = 0
+        false_forwards = 0
+
+        def finish(level: QueryLevel, home: Optional[int]) -> QueryResult:
+            nonlocal messages
+            if home is not None:
+                origin.record_lru(path, home)
+                if self.config.cooperative_lru:
+                    messages += self._share_lru_hint(origin_id, path, home)
+            result = QueryResult(
+                path=path,
+                home_id=home,
+                level=level,
+                latency_ms=latency,
+                messages=messages,
+                false_forwards=false_forwards,
+                origin_id=origin_id,
+            )
+            self.level_counter.increment(level.label)
+            self.latency.record(latency)
+            self.total_messages += messages
+            self.total_false_forwards += false_forwards
+            return result
+
+        def verify_at(server: MetadataServer) -> Optional[FileMetadata]:
+            """Home-MDS verification: filter probe, then store access."""
+            nonlocal latency
+            latency += net.memory_probe_ms
+            if not server.local_filter.query(path):
+                return None
+            meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
+            latency += (
+                meta_fraction * net.memory_record_ms
+                + (1.0 - meta_fraction) * net.disk_access_ms
+            )
+            return server.store.get(path)
+
+        def forward_and_verify(target_id: int) -> Optional[FileMetadata]:
+            """Send the query to ``target_id`` and verify there."""
+            nonlocal latency, messages
+            if target_id != origin_id:
+                latency += net.round_trip_ms() + net.queueing_ms(outstanding)
+                messages += 2
+            return verify_at(self.servers[target_id])
+
+        # ---- L1: local LRU Bloom filter array -------------------------
+        latency += net.memory_probe_ms * max(1, origin.lru.num_filters)
+        l1 = origin.probe_lru(path)
+        if l1.is_unique:
+            meta = forward_and_verify(l1.unique_hit)
+            if meta is not None:
+                return finish(QueryLevel.L1, l1.unique_hit)
+            false_forwards += 1
+            origin.lru.invalidate(path)
+
+        # ---- L2: local segment Bloom filter array ----------------------
+        replica_fraction = origin.replica_memory_fraction()
+        latency += net.probe_cost_ms(origin.theta, replica_fraction)
+        latency += net.memory_probe_ms  # own local filter
+        l2 = origin.probe_segment(path)
+        if l2.is_unique:
+            meta = forward_and_verify(l2.unique_hit)
+            if meta is not None:
+                return finish(QueryLevel.L2, l2.unique_hit)
+            false_forwards += 1
+
+        # ---- L3: multicast within the group ----------------------------
+        group = self.group_of(origin_id)
+        latency += net.group_multicast_ms(group.size) + net.queueing_ms(outstanding)
+        messages += 2 * (group.size - 1)
+        member_costs = [
+            net.probe_cost_ms(member.theta, member.replica_memory_fraction())
+            + net.memory_probe_ms
+            for member in group.members()
+            if member.server_id != origin_id
+        ]
+        if member_costs:
+            latency += max(member_costs)
+        l3 = group.multicast_query(path)
+        if l3.is_unique:
+            meta = forward_and_verify(l3.unique_hit)
+            if meta is not None:
+                return finish(QueryLevel.L3, l3.unique_hit)
+            false_forwards += 1
+
+        # ---- L4: global multicast ---------------------------------------
+        latency += net.global_multicast_ms(self.num_servers)
+        latency += net.queueing_ms(outstanding)
+        messages += 2 * (self.num_servers - 1)
+        # Every MDS checks its local filter (memory); positive ones verify
+        # against their store.  All run concurrently: charge the slowest.
+        verify_costs = [net.memory_probe_ms]
+        found_home: Optional[int] = None
+        for server in self.servers.values():
+            if not server.local_filter.query(path):
+                continue
+            meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
+            verify_costs.append(
+                net.memory_probe_ms
+                + meta_fraction * net.memory_record_ms
+                + (1.0 - meta_fraction) * net.disk_access_ms
+            )
+            if server.store.get(path) is not None:
+                found_home = server.server_id
+        latency += max(verify_costs)
+        if found_home is not None:
+            return finish(QueryLevel.L4, found_home)
+        return finish(QueryLevel.NEGATIVE, None)
+
+    def _share_lru_hint(self, origin_id: int, path: str, home: int) -> int:
+        """Cooperative caching (Section 7 extension): push the resolved
+        mapping to a few group peers, warming their L1 arrays.
+
+        Returns the number of one-way hint messages sent.
+        """
+        group = self.group_of(origin_id)
+        peers = [
+            member_id
+            for member_id in group.member_ids()
+            if member_id != origin_id
+        ]
+        if not peers:
+            return 0
+        fanout = min(self.config.cooperative_fanout, len(peers))
+        chosen = self._rng.sample(peers, fanout)
+        for peer_id in chosen:
+            self.servers[peer_id].record_lru(path, home)
+        return fanout
+
+    # ------------------------------------------------------------------
+    # Replica synchronization (Sections 2.4, 3.4)
+    # ------------------------------------------------------------------
+    def synchronize_replicas(self, force: bool = False) -> SyncReport:
+        """Ship fresh replicas for every server whose filter drifted.
+
+        A server re-publishes when its live filter differs from the last
+        published snapshot by more than ``config.update_threshold_bits``
+        (or always, with ``force=True``).  The fresh replica goes to one
+        MDS per *other* group, located via that group's IDBFA.
+        """
+        report = SyncReport()
+        net = self.config.network
+        threshold = self.config.update_threshold_bits
+        for server in self.servers.values():
+            stale_bits = server.staleness_bits()
+            if not force and stale_bits <= threshold:
+                continue
+            replica_template = server.publish_filter()
+            report.servers_updated += 1
+            payload = transfer_cost_report(replica_template)
+            own_group = self._group_of[server.server_id]
+            for group in self.groups.values():
+                if group.group_id == own_group:
+                    continue
+                messages, false_candidates = group.update_replica(
+                    server.server_id, replica_template.copy()
+                )
+                report.groups_contacted += 1
+                report.messages += messages
+                report.false_candidates += false_candidates
+                report.bytes_raw += payload.raw_bytes
+                report.bytes_compressed += payload.compressed_bytes
+            # One multicast round to all groups, performed concurrently.
+            report.latency_ms += net.multicast_ms(max(0, self.num_groups - 1))
+        return report
+
+    def update_server_replicas(self, server_id: int) -> SyncReport:
+        """Force-update the replicas of one server (Figure 12's operation)."""
+        report = SyncReport()
+        net = self.config.network
+        server = self.servers[server_id]
+        replica_template = server.publish_filter()
+        report.servers_updated = 1
+        own_group = self._group_of[server_id]
+        for group in self.groups.values():
+            if group.group_id == own_group:
+                continue
+            messages, false_candidates = group.update_replica(
+                server_id, replica_template.copy()
+            )
+            report.groups_contacted += 1
+            report.messages += messages
+            report.false_candidates += false_candidates
+        report.latency_ms = net.multicast_ms(max(0, self.num_groups - 1))
+        return report
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (Sections 3.1-3.2)
+    # ------------------------------------------------------------------
+    def _group_with_room(self) -> Optional[Group]:
+        candidates = [
+            group
+            for group in self.groups.values()
+            if group.size < self.config.max_group_size
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda g: (g.size, g.group_id))
+
+    def add_server(self) -> ReconfigReport:
+        """Add one MDS (Section 3.1), splitting a group if needed (3.2)."""
+        server = self._new_server()
+        report = ReconfigReport(server_id=server.server_id)
+        group = self._group_with_room()
+        if group is None:
+            group = self._split_for(server, report)
+        n_after = self.num_servers
+        migrated = group.add_member(server, n_after)
+        self._group_of[server.server_id] = group.group_id
+        # The ceil-based offload can leave the newcomer empty when members
+        # sit exactly at the target; a rebalance pass evens things out.
+        migrated += group.rebalance()
+        # Mirror repair: a group born empty from an M=1 split holds no
+        # replicas yet — the newcomer fetches the full mirror now.
+        hosted = set(group.hosted_replica_ids())
+        for server_id in self.server_ids():
+            if server_id in group or server_id in hosted:
+                continue
+            replica = self.servers[server_id].published_filter.copy()
+            group.install_replica(server_id, replica)
+            migrated += 1
+        report.migrated_replicas += migrated
+        report.messages += migrated  # each migrated replica is one transfer
+        # Light-weight migration bookkeeping: the updated IDBFA is multicast
+        # to the group (one message per existing member).
+        report.messages += group.size - 1
+        # The new server's (empty) filter is replicated to one MDS of every
+        # other group (Figure 15's principal saving vs. HBA).
+        replica_template = server.publish_filter()
+        for other in self.groups.values():
+            if other.group_id == group.group_id:
+                continue
+            other.install_replica(server.server_id, replica_template.copy())
+            report.messages += 1
+        return report
+
+    def _split_for(self, server: MetadataServer, report: ReconfigReport) -> Group:
+        """Split the fullest group to make room for ``server``.
+
+        Implements Section 3.2: adding to a group with M members divides it
+        into two groups of ``M - floor(M/2)`` and ``floor(M/2) + 1``
+        (including the newcomer).  Equivalent to deleting ``floor(M/2)``
+        members from the old group and inserting them into the new one.
+        """
+        victim = max(self.groups.values(), key=lambda g: (g.size, -g.group_id))
+        half = self.config.max_group_size // 2
+        to_move = victim.member_ids()[-half:] if half else []
+        new_group = self._new_group()
+        report.split = True
+        report.new_group_id = new_group.group_id
+        # Step 1: deletion of floor(M/2) members from the victim group —
+        # their hosted replicas migrate to the remaining members.
+        moved_servers: List[MetadataServer] = []
+        for server_id in to_move:
+            member, migrated = victim.remove_member(server_id)
+            report.migrated_replicas += migrated
+            report.messages += migrated
+            moved_servers.append(member)
+        # Step 2: insert them into the new group.
+        for member in moved_servers:
+            new_group.idbfa.add_member(member.server_id)
+            new_group._members[member.server_id] = member
+            self._group_of[member.server_id] = new_group.group_id
+        # Step 3: the new group must rebuild a full mirror — a replica of
+        # every server outside it.  With M = 1 no members moved, so the
+        # group is still empty here; the newcomer installs the mirror after
+        # joining (see the post-join repair in add_server).
+        if new_group.size > 0:
+            for server_id in self.server_ids():
+                if server_id in new_group or server_id == server.server_id:
+                    continue
+                replica = self.servers[server_id].published_filter.copy()
+                new_group.install_replica(server_id, replica)
+                report.migrated_replicas += 1
+                report.messages += 1
+        # Step 4: the shrunken old group now lacks replicas of the members
+        # that left (they were internal before; now they are outside).
+        for member in moved_servers:
+            replica = member.published_filter.copy()
+            victim.install_replica(member.server_id, replica)
+            report.migrated_replicas += 1
+            report.messages += 1
+        # ... and the new group must not host replicas of its own members;
+        # none were installed above, so the mirror invariant holds.
+        return new_group
+
+    def remove_server(self, server_id: int, rehome: bool = True) -> ReconfigReport:
+        """Gracefully remove an MDS (Section 3.1's departure procedure)."""
+        if server_id not in self.servers:
+            raise KeyError(f"unknown server {server_id}")
+        if self.num_servers == 1:
+            raise GroupError("cannot remove the last server of the cluster")
+        server = self.servers[server_id]
+        group = self.group_of(server_id)
+        report = ReconfigReport(server_id=server_id)
+        # (1) migrate its hosted replicas to the remaining group members
+        if group.size > 1:
+            _, migrated = group.remove_member(server_id)
+            report.migrated_replicas += migrated
+            report.messages += migrated
+            report.messages += group.size  # updated IDBFA multicast
+        else:
+            orphaned = group.dissolve()
+            del self.groups[group.group_id]
+            report.migrated_replicas += 0  # replicas existed elsewhere too
+            report.messages += len(orphaned)
+        del self._group_of[server_id]
+        del self.servers[server_id]
+        # (2)+(3) every other group deletes the departing server's replica
+        # and rebalances the freed load across its members.
+        for other in self.groups.values():
+            if server_id in other.hosted_replica_ids():
+                other.remove_replica(server_id)
+                report.messages += 1
+            moved = other.rebalance()
+            report.migrated_replicas += moved
+            report.messages += moved
+        # Re-home the departing server's metadata so files stay reachable.
+        if rehome and server.file_count:
+            records = list(server.store.records())
+            target_ids = sorted(self.servers)
+            for index, meta in enumerate(records):
+                target = self.servers[target_ids[index % len(target_ids)]]
+                target.insert_metadata(meta)
+            report.messages += len(records)
+        # Drop stale LRU entries pointing at the departed server.
+        for remaining in self.servers.values():
+            remaining.lru.invalidate_home(server_id)
+        self._maybe_merge(report)
+        return report
+
+    def _maybe_merge(self, report: ReconfigReport) -> None:
+        """Merge the two smallest groups while they fit within M (3.2)."""
+        while True:
+            groups = sorted(self.groups.values(), key=lambda g: (g.size, g.group_id))
+            if len(groups) < 2:
+                return
+            smallest, second = groups[0], groups[1]
+            if smallest.size + second.size > self.config.max_group_size:
+                return
+            self._merge_groups(second, smallest, report)
+            report.merged = True
+
+    def _merge_groups(self, target: Group, source: Group, report: ReconfigReport) -> None:
+        """Fold ``source`` into ``target`` via light-weight migration."""
+        members = source.members()
+        source.dissolve()  # duplicates of replicas target already holds
+        del self.groups[source.group_id]
+        for member in members:
+            # target currently hosts a replica of this (previously outside)
+            # member; drop it before the member joins.
+            if member.server_id in target.hosted_replica_ids():
+                target.remove_replica(member.server_id)
+                report.messages += 1
+            migrated = target.add_member(member, self.num_servers)
+            self._group_of[member.server_id] = target.group_id
+            report.migrated_replicas += migrated
+            report.messages += migrated + target.size - 1
+
+    # ------------------------------------------------------------------
+    # Failure handling (Section 4.5)
+    # ------------------------------------------------------------------
+    def fail_server(self, server_id: int) -> ReconfigReport:
+        """Crash-remove an MDS: its metadata is lost, filters are excised.
+
+        The service remains functional at degraded coverage — lookups for
+        files homed on the failed MDS resolve to NEGATIVE instead of
+        misrouting, because every replica of its filter is removed.
+        The failed server's *hosted* replicas are re-fetched from their
+        home servers' published filters to restore the group mirror.
+        """
+        if server_id not in self.servers:
+            raise KeyError(f"unknown server {server_id}")
+        if self.num_servers == 1:
+            raise GroupError("cannot fail the last server of the cluster")
+        group = self.group_of(server_id)
+        report = ReconfigReport(server_id=server_id)
+        # The crashed server's metadata survives on its disk; keep it so a
+        # later recover_server() can restore service for its files.
+        self._crashed_stores[server_id] = list(
+            self.servers[server_id].store.records()
+        )
+        hosted = list(self.servers[server_id].hosted_replicas())
+        if group.size > 1:
+            # Drop without migration (the node is gone), then re-fetch.
+            failed = group.get_member(server_id)
+            del group._members[server_id]
+            group.idbfa.remove_member(server_id)
+            del failed  # its state is unreachable
+            for home_id in hosted:
+                replica = self.servers[home_id].published_filter.copy()
+                group.install_replica(home_id, replica)
+                report.migrated_replicas += 1
+                report.messages += 1
+        else:
+            group.dissolve()
+            del self.groups[group.group_id]
+        del self._group_of[server_id]
+        del self.servers[server_id]
+        for other in self.groups.values():
+            if server_id in other.hosted_replica_ids():
+                other.remove_replica(server_id)
+                report.messages += 1
+            moved = other.rebalance()
+            report.migrated_replicas += moved
+            report.messages += moved
+        for remaining in self.servers.values():
+            remaining.lru.invalidate_home(server_id)
+        self._maybe_merge(report)
+        return report
+
+    def recover_server(self, server_id: int) -> ReconfigReport:
+        """Restore a crashed MDS from its on-disk metadata (Table 1).
+
+        The recovering server rejoins the cluster through the ordinary join
+        machinery (so groups stay balanced and replicated) and then reloads
+        the metadata it held at crash time from its disk; a forced filter
+        publication makes its files routable again.
+        """
+        records = self._crashed_stores.pop(server_id, None)
+        if records is None:
+            raise KeyError(f"server {server_id} has no crashed state to recover")
+        report = self.add_server()
+        recovered = self.servers[report.server_id]
+        recovered.insert_many(records)
+        # Re-publish to every other group so the recovered files route.
+        sync = self.update_server_replicas(report.server_id)
+        report.messages += sync.messages
+        return report
+
+    def crashed_server_ids(self) -> List[int]:
+        """Servers whose on-disk state awaits recovery."""
+        return sorted(self._crashed_stores)
+
+    # ------------------------------------------------------------------
+    # Invariants & accounting
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert every structural invariant; raises GroupError on violation."""
+        all_ids = set(self.servers)
+        seen: set = set()
+        for group in self.groups.values():
+            if group.size == 0:
+                raise GroupError(f"group {group.group_id} is empty")
+            if group.size > self.config.max_group_size:
+                raise GroupError(
+                    f"group {group.group_id} exceeds M="
+                    f"{self.config.max_group_size}: {group.size}"
+                )
+            for server_id in group.member_ids():
+                if server_id in seen:
+                    raise GroupError(f"MDS {server_id} in two groups")
+                seen.add(server_id)
+                if self._group_of.get(server_id) != group.group_id:
+                    raise GroupError(
+                        f"group index out of sync for MDS {server_id}"
+                    )
+            group.check_mirror_invariant(all_ids)
+        if seen != all_ids:
+            raise GroupError(
+                f"ungrouped servers: {sorted(all_ids - seen)}"
+            )
+
+    def replicas_per_server(self) -> Dict[int, int]:
+        """theta of every server — Table 5's memory driver."""
+        return {sid: server.theta for sid, server in self.servers.items()}
+
+    def memory_bytes_per_server(self) -> Dict[int, int]:
+        """Total Bloom-structure bytes per server."""
+        return {
+            sid: server.segment.size_bytes()
+            + server.local_filter.size_bytes()
+            + server.lru.size_bytes()
+            for sid, server in self.servers.items()
+        }
+
+    def level_fractions(self) -> Dict[str, float]:
+        """Fraction of queries served per level (Figure 13)."""
+        return self.level_counter.fractions()
+
+    def __repr__(self) -> str:
+        return (
+            f"GHBACluster(servers={self.num_servers}, groups={self.num_groups}, "
+            f"M={self.config.max_group_size})"
+        )

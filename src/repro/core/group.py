@@ -1,0 +1,301 @@
+"""An MDS group: one full replica mirror, collectively.
+
+A group of ``M'`` servers hosts exactly one Bloom filter replica for every
+MDS *outside* the group (``N - M'`` replicas total), spread across members
+for load balance; together with the members' own local filters the group can
+answer any lookup — the "global mirror image" invariant of Section 2.1.
+
+Replica placement inside the group is tracked by an
+:class:`~repro.bloom.arrays.IDBloomFilterArray` (Section 2.4): updating a
+replica first *locates* it by probing the ID filters; false candidates
+simply drop the request.  Member join/leave uses the light-weight migration
+of Section 3.1: each existing member offloads
+``len(current_replicas) - ceil((N - M') / (M' + 1))`` replicas to a joiner,
+and a leaver's replicas are redistributed to the lightest members.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.bloom.arrays import ArrayLookup, IDBloomFilterArray
+from repro.bloom.bloom_filter import BloomFilter
+from repro.core.server import MetadataServer
+
+
+class GroupError(Exception):
+    """Raised on group-invariant violations."""
+
+
+class Group:
+    """A logical group of metadata servers."""
+
+    def __init__(self, group_id: int) -> None:
+        self.group_id = group_id
+        self._members: Dict[int, MetadataServer] = {}
+        self.idbfa = IDBloomFilterArray()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def member_ids(self) -> List[int]:
+        return sorted(self._members)
+
+    def members(self) -> List[MetadataServer]:
+        return [self._members[mid] for mid in self.member_ids()]
+
+    def get_member(self, server_id: int) -> MetadataServer:
+        try:
+            return self._members[server_id]
+        except KeyError:
+            raise KeyError(
+                f"MDS {server_id} is not in group {self.group_id}"
+            ) from None
+
+    def __contains__(self, server_id: int) -> bool:
+        return server_id in self._members
+
+    def hosted_replica_ids(self) -> List[int]:
+        """All replica home-IDs hosted anywhere in the group."""
+        return sorted(self.idbfa.placements())
+
+    def lightest_member(self, exclude: Iterable[int] = ()) -> MetadataServer:
+        """Member hosting the fewest replicas (ties broken by ID)."""
+        excluded = set(exclude)
+        candidates = [
+            server
+            for server_id, server in self._members.items()
+            if server_id not in excluded
+        ]
+        if not candidates:
+            raise GroupError(f"group {self.group_id} has no eligible members")
+        return min(candidates, key=lambda s: (s.theta, s.server_id))
+
+    # ------------------------------------------------------------------
+    # Replica management
+    # ------------------------------------------------------------------
+    def install_replica(self, home_id: int, replica: BloomFilter) -> int:
+        """Host a new replica on the lightest member; return its server ID.
+
+        Mirrors Figure 3: the incoming replica goes to the member with the
+        lightest load, which then records itself in the IDBFA.
+        """
+        if home_id in self._members:
+            raise GroupError(
+                f"MDS {home_id} is a member of group {self.group_id}; "
+                "groups only host replicas of outside servers"
+            )
+        if self.idbfa.host_of(home_id) is not None:
+            raise GroupError(
+                f"group {self.group_id} already hosts a replica of {home_id}"
+            )
+        target = self.lightest_member()
+        target.host_replica(home_id, replica)
+        self.idbfa.place(home_id, target.server_id)
+        return target.server_id
+
+    def remove_replica(self, home_id: int) -> int:
+        """Drop the replica of ``home_id``; return the member that held it."""
+        host_id = self.idbfa.host_of(home_id)
+        if host_id is None:
+            raise GroupError(
+                f"group {self.group_id} hosts no replica of {home_id}"
+            )
+        self.idbfa.unplace(home_id)
+        self._members[host_id].drop_replica(home_id)
+        return host_id
+
+    def locate_replica(self, home_id: int) -> ArrayLookup:
+        """Probabilistic IDBFA lookup for where a replica lives."""
+        return self.idbfa.locate(home_id)
+
+    def update_replica(self, home_id: int, replica: BloomFilter) -> Tuple[int, int]:
+        """Replace the stored replica of ``home_id`` with a fresh copy.
+
+        Follows the paper's two-step update: locate via the IDBFA (possibly
+        contacting false-positive candidates, which drop the request), then
+        replace at the true host.
+
+        Returns
+        -------
+        (messages, false_candidates):
+            Messages sent within the group for this update and how many
+            contacted members turned out not to hold the replica.
+        """
+        true_host = self.idbfa.host_of(home_id)
+        if true_host is None:
+            raise GroupError(
+                f"group {self.group_id} hosts no replica of {home_id}"
+            )
+        lookup = self.locate_replica(home_id)
+        candidates = set(lookup.hits) | {true_host}
+        false_candidates = len(candidates) - 1
+        self._members[true_host].replace_replica(home_id, replica)
+        # One message per contacted candidate (false ones drop it).
+        return (len(candidates), false_candidates)
+
+    # ------------------------------------------------------------------
+    # Membership changes (light-weight migration, Section 3.1)
+    # ------------------------------------------------------------------
+    def add_member(self, server: MetadataServer, total_servers: int) -> int:
+        """Add ``server`` to the group, offloading replicas onto it.
+
+        ``total_servers`` is N *after* the join.  Each existing member
+        randomly offloads ``len(current) - ceil((N - M') / (M' + 1))``
+        replicas to the newcomer (Section 3.1; we offload the highest
+        replica IDs for determinism).  Returns the number migrated.
+        """
+        if server.server_id in self._members:
+            raise GroupError(
+                f"MDS {server.server_id} already in group {self.group_id}"
+            )
+        if server.theta:
+            raise GroupError("joining server must not host replicas yet")
+        old_size = self.size
+        self.idbfa.add_member(server.server_id)
+        self._members[server.server_id] = server
+        if old_size == 0:
+            return 0
+        # Replicas the group hosts after the join: every server outside it.
+        outside = total_servers - (old_size + 1)
+        target_per_member = math.ceil(max(0, outside) / (old_size + 1))
+        migrated = 0
+        for member in self.members():
+            if member.server_id == server.server_id:
+                continue
+            excess = member.theta - target_per_member
+            for _ in range(max(0, excess)):
+                home_id = max(member.hosted_replicas())
+                replica = member.drop_replica(home_id)
+                server.host_replica(home_id, replica)
+                self.idbfa.move(home_id, server.server_id)
+                migrated += 1
+        # A member's own filter must never be hosted by itself as a replica;
+        # if the group previously held a replica of the joining server
+        # (it was in another group before), the cluster removes it first.
+        return migrated
+
+    def remove_member(self, server_id: int) -> Tuple[MetadataServer, int]:
+        """Remove a member, migrating its replicas to remaining members.
+
+        Returns the removed server and the number of replicas migrated.
+        Raises if this is the last member (the cluster must dissolve the
+        group instead).
+        """
+        server = self.get_member(server_id)
+        if self.size == 1:
+            raise GroupError(
+                f"cannot remove last member of group {self.group_id}; "
+                "dissolve the group instead"
+            )
+        hosted = list(server.hosted_replicas())
+        del self._members[server_id]
+        self.idbfa.remove_member(server_id)
+        migrated = 0
+        for home_id in hosted:
+            replica = server.drop_replica(home_id)
+            target = self.lightest_member()
+            target.host_replica(home_id, replica)
+            self.idbfa.place(home_id, target.server_id)
+            migrated += 1
+        return server, migrated
+
+    def rebalance(self) -> int:
+        """Even out replica counts across members (imbalance <= 1).
+
+        Replica deletions (departed servers elsewhere in the system) remove
+        load from whichever member happened to host them; this light-weight
+        pass migrates replicas from the heaviest to the lightest member
+        until balanced.  Returns the number of replicas moved.
+        """
+        moved = 0
+        while True:
+            members = self.members()
+            if len(members) < 2:
+                return moved
+            heaviest = max(members, key=lambda s: (s.theta, -s.server_id))
+            lightest = min(members, key=lambda s: (s.theta, s.server_id))
+            if heaviest.theta - lightest.theta <= 1:
+                return moved
+            home_id = max(heaviest.hosted_replicas())
+            replica = heaviest.drop_replica(home_id)
+            lightest.host_replica(home_id, replica)
+            self.idbfa.move(home_id, lightest.server_id)
+            moved += 1
+
+    def dissolve(self) -> List[Tuple[int, BloomFilter]]:
+        """Empty the group, returning every hosted ``(home_id, replica)``."""
+        replicas: List[Tuple[int, BloomFilter]] = []
+        for member in self.members():
+            for home_id in list(member.hosted_replicas()):
+                replicas.append((home_id, member.drop_replica(home_id)))
+        for server_id in self.member_ids():
+            del self._members[server_id]
+        self.idbfa = IDBloomFilterArray()
+        return replicas
+
+    # ------------------------------------------------------------------
+    # Group-level query (L3)
+    # ------------------------------------------------------------------
+    def multicast_query(self, path: str) -> ArrayLookup:
+        """Probe every member's segment array + local filter (L3).
+
+        Returns the union of hits across the group.  With the mirror
+        invariant intact, the group sees all N filters, so a genuine home
+        MDS is always among the hits.
+        """
+        hits: set = set()
+        probes = 0
+        for member in self.members():
+            lookup = member.probe_segment(path)
+            hits.update(lookup.hits)
+            probes += lookup.probes
+        return ArrayLookup(hits=tuple(sorted(hits)), probes=probes)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily in tests)
+    # ------------------------------------------------------------------
+    def check_mirror_invariant(self, all_server_ids: Iterable[int]) -> None:
+        """Assert the group collectively covers every outside MDS exactly once.
+
+        Raises :class:`GroupError` with a description on violation.
+        """
+        expected = set(all_server_ids) - set(self._members)
+        hosted: Dict[int, int] = {}
+        for member in self.members():
+            for home_id in member.hosted_replicas():
+                if home_id in hosted:
+                    raise GroupError(
+                        f"replica of {home_id} hosted twice in group "
+                        f"{self.group_id} (on {hosted[home_id]} and "
+                        f"{member.server_id})"
+                    )
+                hosted[home_id] = member.server_id
+        if set(hosted) != expected:
+            missing = expected - set(hosted)
+            extra = set(hosted) - expected
+            raise GroupError(
+                f"group {self.group_id} mirror broken: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        placements = self.idbfa.placements()
+        if placements != hosted:
+            raise GroupError(
+                f"group {self.group_id} IDBFA out of sync with hosting: "
+                f"idbfa={placements}, actual={hosted}"
+            )
+
+    def load_imbalance(self) -> int:
+        """Max minus min replicas per member (0 or 1 when balanced)."""
+        thetas = [member.theta for member in self.members()]
+        if not thetas:
+            return 0
+        return max(thetas) - min(thetas)
+
+    def __repr__(self) -> str:
+        return f"Group(id={self.group_id}, members={self.member_ids()})"

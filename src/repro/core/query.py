@@ -1,0 +1,70 @@
+"""Query result types for the four-level critical path (paper Section 2.3)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class QueryLevel(enum.Enum):
+    """The level of the hierarchy that finally served a query.
+
+    Values order the hierarchy: L1 (local LRU array) < L2 (local segment
+    array) < L3 (group multicast) < L4 (global multicast).  ``NEGATIVE``
+    marks queries for files that do not exist anywhere (resolved, with
+    certainty, at L4).
+    """
+
+    L1 = 1
+    L2 = 2
+    L3 = 3
+    L4 = 4
+    NEGATIVE = 5
+
+    @property
+    def label(self) -> str:
+        return self.name if self is not QueryLevel.NEGATIVE else "L4-negative"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one metadata lookup.
+
+    Attributes
+    ----------
+    path:
+        The queried pathname.
+    home_id:
+        The MDS found to hold the metadata (None for negative lookups).
+    level:
+        Which hierarchy level served the query.
+    latency_ms:
+        Total simulated latency, including penalties for false routing.
+    messages:
+        Network messages exchanged (request+response pairs count as 2).
+    false_forwards:
+        Number of times a unique Bloom hit named an MDS that turned out not
+        to hold the metadata (the false-positive penalty path).
+    origin_id:
+        The MDS that received the client request.
+    """
+
+    path: str
+    home_id: Optional[int]
+    level: QueryLevel
+    latency_ms: float
+    messages: int
+    false_forwards: int
+    origin_id: int
+
+    @property
+    def found(self) -> bool:
+        return self.home_id is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(path={self.path!r}, home={self.home_id}, "
+            f"level={self.level.name}, latency={self.latency_ms:.3f}ms, "
+            f"messages={self.messages})"
+        )

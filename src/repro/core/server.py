@@ -1,0 +1,219 @@
+"""One metadata server (MDS).
+
+Each MDS owns:
+
+- a :class:`~repro.metadata.store.MetadataStore` of the files it is *home*
+  for,
+- a local :class:`~repro.bloom.bloom_filter.BloomFilter` summarizing those
+  files (the filter that gets replicated to other groups),
+- an L1 :class:`~repro.bloom.arrays.LRUBloomFilterArray` of recently
+  resolved lookups,
+- an L2 :class:`~repro.bloom.arrays.BloomFilterArray` holding the ``theta``
+  replicas assigned to it by its group,
+- a :class:`~repro.sim.memory.MemoryModel` deciding how much of that state
+  is memory-resident.
+
+The server knows nothing about groups or routing — that is the cluster's
+job — but exposes the probe and verification primitives each query level
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bloom.arrays import ArrayLookup, BloomFilterArray, LRUBloomFilterArray
+from repro.bloom.bloom_filter import BloomFilter
+from repro.core.config import GHBAConfig
+from repro.metadata.attributes import FileMetadata
+from repro.metadata.store import MetadataStore
+from repro.sim.memory import (
+    MemoryModel,
+    PRIORITY_METADATA,
+    PRIORITY_PINNED,
+    PRIORITY_REPLICAS,
+)
+
+#: Memory consumer names used by every MDS.
+CONSUMER_LOCAL_FILTER = "local_filter"
+CONSUMER_LRU = "lru_array"
+CONSUMER_REPLICAS = "replicas"
+CONSUMER_METADATA = "metadata"
+
+
+class MetadataServer:
+    """One MDS identified by an integer ID."""
+
+    def __init__(self, server_id: int, config: GHBAConfig) -> None:
+        if server_id < 0:
+            raise ValueError(f"server_id must be non-negative, got {server_id}")
+        self.server_id = server_id
+        self.config = config
+        self.store = MetadataStore(memory_budget_bytes=None)
+        self.local_filter = BloomFilter(
+            config.filter_num_bits, config.filter_num_hashes, config.seed
+        )
+        self.lru = LRUBloomFilterArray(
+            capacity=config.lru_capacity,
+            filter_bits=config.lru_filter_bits,
+            num_hashes=config.lru_num_hashes,
+            seed=config.seed,
+            policy=config.lru_policy,
+        )
+        self.segment = BloomFilterArray()
+        self.memory = MemoryModel(config.memory_budget_bytes, config.memory_mode)
+        self._metadata_bytes = 0
+        #: Snapshot of the local filter as last replicated to remote groups;
+        #: the XOR-threshold rule compares against this (Section 3.4).
+        self.published_filter = self.local_filter.copy()
+        self._refresh_memory_accounting()
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def _refresh_memory_accounting(self) -> None:
+        self.memory.set_consumer(
+            CONSUMER_LOCAL_FILTER, self.local_filter.size_bytes(), PRIORITY_PINNED
+        )
+        self.memory.set_consumer(
+            CONSUMER_LRU, self.lru.size_bytes(), PRIORITY_PINNED
+        )
+        self.memory.set_consumer(
+            CONSUMER_REPLICAS, self.segment.size_bytes(), PRIORITY_REPLICAS
+        )
+        self.memory.set_consumer(
+            CONSUMER_METADATA, self._metadata_bytes, PRIORITY_METADATA
+        )
+
+    def replica_memory_fraction(self) -> float:
+        """Fraction of this MDS's replica array that is memory-resident."""
+        return self.memory.resident_fraction(CONSUMER_REPLICAS)
+
+    # ------------------------------------------------------------------
+    # Home-metadata management
+    # ------------------------------------------------------------------
+    def insert_metadata(self, meta: FileMetadata) -> None:
+        """Become home for ``meta`` (store it, reflect it in the filter)."""
+        if meta.path not in self.store:
+            self._metadata_bytes += meta.size_bytes()
+        self.store.put(meta)
+        self.local_filter.add(meta.path)
+        self._refresh_memory_accounting()
+
+    def insert_many(self, records: List[FileMetadata]) -> None:
+        """Bulk insert; single memory-accounting refresh at the end."""
+        for meta in records:
+            if meta.path not in self.store:
+                self._metadata_bytes += meta.size_bytes()
+            self.store.put(meta)
+            self.local_filter.add(meta.path)
+        self._refresh_memory_accounting()
+
+    def remove_metadata(self, path: str) -> bool:
+        """Stop being home for ``path``.
+
+        Plain Bloom filters cannot delete, so the local filter keeps the
+        stale bit until the next rebuild (exactly the staleness the paper
+        attributes false positives to).  Returns True if the path existed.
+        """
+        meta = self.store.get(path) if path in self.store else None
+        removed = self.store.remove(path, missing_ok=True)
+        if removed:
+            if meta is not None:
+                self._metadata_bytes -= meta.size_bytes()
+            self._refresh_memory_accounting()
+        return removed
+
+    def rebuild_local_filter(self) -> BloomFilter:
+        """Rebuild the local filter from the store (clears deletions)."""
+        rebuilt = BloomFilter(
+            self.config.filter_num_bits,
+            self.config.filter_num_hashes,
+            self.config.seed,
+        )
+        for path in self.store.paths():
+            rebuilt.add(path)
+        self.local_filter = rebuilt
+        self._refresh_memory_accounting()
+        return rebuilt
+
+    @property
+    def file_count(self) -> int:
+        return len(self.store)
+
+    def has_metadata(self, path: str) -> bool:
+        """Ground-truth check (no stats side effects)."""
+        return path in self.store
+
+    def verify_and_fetch(self, path: str) -> Optional[FileMetadata]:
+        """The home-MDS verification step: filter first, then store.
+
+        The local filter has no false negatives, so a negative filter answer
+        avoids any store access; a positive answer requires a store lookup
+        (possibly a disk access) to confirm (paper Section 2.2, L4
+        discussion).
+        """
+        if not self.local_filter.query(path):
+            return None
+        return self.store.get(path)
+
+    # ------------------------------------------------------------------
+    # Probe primitives used by the cluster's query path
+    # ------------------------------------------------------------------
+    def probe_lru(self, path: str) -> ArrayLookup:
+        """L1 probe."""
+        return self.lru.query(path)
+
+    def probe_segment(self, path: str) -> ArrayLookup:
+        """L2 probe: the local filter plus every replica assigned here."""
+        lookup = self.segment.query(path)
+        hits = list(lookup.hits)
+        if self.local_filter.query(path):
+            hits.append(self.server_id)
+        return ArrayLookup(hits=tuple(sorted(hits)), probes=lookup.probes + 1)
+
+    def record_lru(self, path: str, home_id: int) -> None:
+        """Feed a resolved lookup back into the L1 array."""
+        self.lru.record(path, home_id)
+
+    # ------------------------------------------------------------------
+    # Replica hosting (assigned by the group)
+    # ------------------------------------------------------------------
+    def host_replica(self, home_id: int, replica: BloomFilter) -> None:
+        self.segment.add_replica(home_id, replica)
+        self._refresh_memory_accounting()
+
+    def drop_replica(self, home_id: int) -> BloomFilter:
+        replica = self.segment.remove_replica(home_id)
+        self._refresh_memory_accounting()
+        return replica
+
+    def replace_replica(self, home_id: int, replica: BloomFilter) -> None:
+        self.segment.replace_replica(home_id, replica)
+        self._refresh_memory_accounting()
+
+    def hosted_replicas(self) -> List[int]:
+        return self.segment.home_ids()
+
+    @property
+    def theta(self) -> int:
+        """Number of replicas currently hosted (the paper's theta)."""
+        return len(self.segment)
+
+    # ------------------------------------------------------------------
+    # Replication bookkeeping
+    # ------------------------------------------------------------------
+    def publish_filter(self) -> BloomFilter:
+        """Snapshot the local filter for replication; returns the replica."""
+        self.published_filter = self.local_filter.copy()
+        return self.published_filter.copy()
+
+    def staleness_bits(self) -> int:
+        """Bit difference between the live and last-published filters."""
+        return self.local_filter.bits.hamming_distance(self.published_filter.bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetadataServer(id={self.server_id}, files={self.file_count}, "
+            f"theta={self.theta})"
+        )

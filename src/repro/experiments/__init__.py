@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function with CI-friendly default
+parameters returning an :class:`~repro.experiments.common.ExperimentResult`
+(named rows plus provenance), and a ``main()`` that prints the regenerated
+table/series.  The ``benchmarks/`` tree wraps these with pytest-benchmark
+and asserts the *shape* claims of the paper (who wins, by roughly what
+factor, where the crossovers are); EXPERIMENTS.md records paper-vs-measured
+numbers for full-scale runs.
+
+Index (see DESIGN.md §3 for workload parameters):
+
+====================  ====================================================
+Module                 Result
+====================  ====================================================
+table01                Table 1  — qualitative scheme comparison
+table01_quantified     Table 1 with every column measured, all six schemes
+tables_traces          Tables 3-4 — scaled-up trace statistics
+fig06                  Figure 6 — normalized throughput vs. group size M
+fig07                  Figure 7 — optimal M vs. number of MDSs
+fig08_10               Figures 8-10 — query latency vs. ops, HBA vs. G-HBA
+fig11                  Figure 11 — replicas migrated on MDS join
+fig12                  Figure 12 — latency of updating stale replicas
+fig13                  Figure 13 — % queries served per level
+fig14                  Figure 14 — prototype query latency
+fig15                  Figure 15 — messages when adding nodes
+table05                Table 5 — relative memory overhead per MDS
+rename_cost            (extension) rename/resize migration vs. hashing
+availability           (extension) coverage under crash failures (§4.5)
+scalability            (extension) per-MDS cost asymptotics vs. N
+ablation_lru           (ablation) L1 LRU array contribution
+ablation_updates       (ablation) XOR update-threshold staleness tradeoff
+ablation_policies      (ablation) L1 replacement policy (§7)
+ablation_cooperative   (ablation) cooperative L1 caching (§7)
+====================  ====================================================
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

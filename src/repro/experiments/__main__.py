@@ -1,0 +1,83 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig06
+    python -m repro.experiments all        # every experiment, CI-scale
+
+Each experiment also runs standalone (``python -m
+repro.experiments.fig06``); this dispatcher adds discovery and an
+everything-at-once mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict
+
+#: name -> (module, one-line description)
+REGISTRY: Dict[str, str] = {
+    "table01": "Table 1  — qualitative scheme comparison",
+    "table01_quantified": "Table 1, quantified — measured columns per scheme",
+    "tables_traces": "Tables 3-4 — intensified workload statistics",
+    "fig06": "Figure 6 — normalized throughput vs. group size M",
+    "fig07": "Figure 7 — optimal M vs. number of MDSs",
+    "fig08_10": "Figures 8-10 — latency vs. ops, HBA vs. G-HBA",
+    "fig11": "Figure 11 — replicas migrated on MDS join",
+    "fig12": "Figure 12 — latency of updating stale replicas",
+    "fig13": "Figure 13 — % of queries served per level",
+    "fig14": "Figure 14 — prototype query latency",
+    "fig15": "Figure 15 — messages when adding nodes",
+    "table05": "Table 5 — relative memory overhead per MDS",
+    "rename_cost": "Rename/resize migration: hashing vs. G-HBA",
+    "availability": "Availability under crash failures vs. departures",
+    "scalability": "Scalability sweep — per-MDS cost vs. system size",
+    "ablation_lru": "Ablation — L1 LRU capacity",
+    "ablation_updates": "Ablation — XOR update threshold",
+    "ablation_policies": "Ablation — L1 replacement policy",
+    "ablation_cooperative": "Ablation — cooperative L1 caching",
+    "ablation_bits": "Ablation — Bloom filter bit/file ratio",
+}
+
+
+def run_experiment(name: str) -> None:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    print(f"=== {name}: {REGISTRY[name]} ===")
+    module.main()
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list' or 'all'",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in REGISTRY)
+        for name, description in REGISTRY.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.experiment == "all":
+        for name in REGISTRY:
+            run_experiment(name)
+        return 0
+    if args.experiment not in REGISTRY:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "run 'python -m repro.experiments list'",
+            file=sys.stderr,
+        )
+        return 2
+    run_experiment(args.experiment)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

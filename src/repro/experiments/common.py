@@ -1,0 +1,67 @@
+"""Shared experiment plumbing: result containers and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerated for one table/figure.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier, e.g. ``"fig11"``.
+    title:
+        Human-readable description.
+    rows:
+        Uniform dictionaries, one per table row / plotted point.
+    params:
+        The parameters the run used (provenance for EXPERIMENTS.md).
+    """
+
+    name: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def column(self, key: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row[key] for row in self.rows]
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching every ``column=value`` criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def format(self, float_digits: int = 3) -> str:
+        """Render as an aligned text table."""
+        if not self.rows:
+            return f"{self.title}\n(no rows)"
+        return f"{self.title}\n" + format_table(self.rows, float_digits)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], float_digits: int = 3) -> str:
+    """Render uniform dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0])
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    table = [columns] + [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in table
+    ]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)

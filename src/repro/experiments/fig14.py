@@ -1,0 +1,157 @@
+"""Figure 14: prototype query latency under the intensified HP trace.
+
+The paper runs its Linux prototype on 60 nodes (M = 7) against the HP
+trace scaled by TIF = 60 and reports average query latency as operation
+intensity grows; G-HBA beats HBA by up to 31.2 % under the heaviest load.
+
+Our prototype (DESIGN.md §2) exchanges real messages between node threads
+while timing runs on a deterministic virtual service clock.  Load grows
+across the run by compressing inter-arrival gaps, so later windows are
+heavier — reproducing the figure's rising curves and the widening gap as
+HBA's full-array probes (partially spilled to disk) queue up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import GHBAConfig
+from repro.experiments.common import ExperimentResult
+from repro.prototype.cluster import PrototypeCluster
+from repro.sim.stats import SeriesRecorder
+from repro.traces.profiles import PROFILES
+from repro.traces.records import MetadataOp
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+def run_one(
+    scheme: str,
+    num_nodes: int = 20,
+    group_size: int = 7,
+    num_files: int = 2_000,
+    num_ops: int = 4_000,
+    memory_fraction: float = 0.6,
+    windows: int = 8,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Replay an HP-shaped query stream against one prototype scheme.
+
+    ``memory_fraction`` sizes the per-node memory budget relative to the
+    HBA working set (replica array + metadata), so HBA probes partially
+    spill to disk while G-HBA's array stays resident — the regime of the
+    paper's prototype experiment.
+    """
+    profile = PROFILES["HP"]
+    generator = SyntheticTraceGenerator(profile, num_files, seed=seed)
+    config = GHBAConfig(
+        max_group_size=group_size,
+        bits_per_file=16.0,
+        expected_files_per_mds=max(256, int(num_files / num_nodes * 2)),
+        lru_capacity=max(128, num_files // 4),
+        lru_filter_bits=1 << 12,
+        memory_mode="proportional",
+        seed=seed,
+    )
+    rows: List[Dict[str, object]] = []
+    with PrototypeCluster(num_nodes, config, scheme=scheme, seed=seed) as proto:
+        placement = proto.populate(generator.paths)
+        # Anchor the budget to the *measured* HBA working set — the same
+        # physical memory for both schemes, as on the paper's testbed.
+        # HBA's per-node footprint exceeds G-HBA's by the extra replicas.
+        ghba_extra = (num_nodes - 1) - max(
+            node.server.theta for node in proto.nodes.values()
+        )
+        hba_working_set = proto.mean_working_set_bytes() + (
+            ghba_extra * config.filter_bytes if scheme == "ghba" else 0
+        )
+        proto.set_memory_budget(int(hba_working_set * memory_fraction))
+        series = SeriesRecorder(window_width=max(1, num_ops // windows))
+        vtime = 0.0
+        issued = 0
+        for record in generator.generate(num_ops * 3):
+            if issued >= num_ops:
+                break
+            if record.op is MetadataOp.RENAME or record.path not in placement:
+                continue
+            # Operation intensity ramps up: inter-arrival gaps shrink as the
+            # run progresses (the figure's x-axis is cumulative intensity).
+            progress = issued / num_ops
+            gap_ms = 2.0 * (1.0 - 0.9 * progress)
+            vtime += gap_ms / 1000.0
+            outcome = proto.lookup(record.path, vtime=vtime)
+            series.record(issued, outcome.virtual_latency_ms)
+            issued += 1
+        for point in series.finish():
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "ops": int(point.x),
+                    "avg_latency_ms": point.mean,
+                    "queries": point.count,
+                }
+            )
+    return rows
+
+
+def run(
+    num_nodes: int = 20,
+    group_size: int = 7,
+    num_files: int = 2_000,
+    num_ops: int = 4_000,
+    memory_fraction: float = 0.6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Figure 14: prototype latency series for both schemes.
+
+    The paper used 60 nodes; the default here is 20 for CI runtime — pass
+    ``num_nodes=60`` to match the paper's deployment.
+    """
+    result = ExperimentResult(
+        name="fig14",
+        title="Figure 14: prototype query latency (intensified HP)",
+        params={
+            "num_nodes": num_nodes,
+            "group_size": group_size,
+            "num_files": num_files,
+            "num_ops": num_ops,
+            "memory_fraction": memory_fraction,
+        },
+    )
+    for scheme in ("hba", "ghba"):
+        result.rows.extend(
+            run_one(
+                scheme,
+                num_nodes=num_nodes,
+                group_size=group_size,
+                num_files=num_files,
+                num_ops=num_ops,
+                memory_fraction=memory_fraction,
+                seed=seed,
+            )
+        )
+    return result
+
+
+def improvement_at_heaviest_load(result: ExperimentResult) -> float:
+    """G-HBA's relative latency reduction in the last (heaviest) window."""
+    hba_rows = result.filter(scheme="hba")
+    ghba_rows = result.filter(scheme="ghba")
+    if not hba_rows or not ghba_rows:
+        raise ValueError("missing scheme rows")
+    hba_last = hba_rows[-1]["avg_latency_ms"]
+    ghba_last = ghba_rows[-1]["avg_latency_ms"]
+    return (hba_last - ghba_last) / hba_last
+
+
+def main() -> None:
+    result = run()
+    print(result.format())
+    print(
+        "\nG-HBA latency reduction at heaviest load: "
+        f"{improvement_at_heaviest_load(result) * 100:.1f}% "
+        "(paper: up to 31.2%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Metadata substrate: file attributes, namespace tree and per-MDS stores.
+
+G-HBA answers *which MDS holds the metadata of a file*; this package provides
+the metadata being managed:
+
+- :class:`~repro.metadata.attributes.FileMetadata` — an inode-like record
+  (size, timestamps, ownership, mode).
+- :class:`~repro.metadata.namespace.Namespace` — a hierarchical directory
+  tree with POSIX-style path resolution, create/delete/rename.
+- :class:`~repro.metadata.store.MetadataStore` — the per-MDS store with an
+  in-memory tier and a simulated on-disk tier, tracking which accesses would
+  have hit disk (the quantity behind Figures 8-10).
+"""
+
+from repro.metadata.attributes import FileKind, FileMetadata
+from repro.metadata.namespace import Namespace, NamespaceError, PathNotFound
+from repro.metadata.store import MetadataStore, StoreAccess
+
+__all__ = [
+    "FileKind",
+    "FileMetadata",
+    "Namespace",
+    "NamespaceError",
+    "PathNotFound",
+    "MetadataStore",
+    "StoreAccess",
+]

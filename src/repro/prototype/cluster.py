@@ -1,0 +1,724 @@
+"""The prototype cluster: a fleet of MDS node threads plus a directory.
+
+``PrototypeCluster`` builds either a G-HBA deployment (nodes packed into
+groups of at most M, each group holding one replica mirror) or an HBA
+deployment (every node holds every replica).  Clients call :meth:`lookup`,
+which drives the real request/reply protocol over the transport; node
+additions run the join/split machinery message by message so Figure 15's
+counts are observed on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import GHBAConfig
+from repro.core.query import QueryLevel
+from repro.metadata.attributes import FileMetadata
+from repro.prototype.messages import Message, MessageKind
+from repro.prototype.node import MDSNode
+from repro.prototype.transport import InProcessTransport
+
+#: Client sender ID used in messages.
+CLIENT = -1
+
+
+@dataclass(frozen=True)
+class LookupOutcome:
+    """Result of one prototype lookup."""
+
+    path: str
+    home_id: Optional[int]
+    level: QueryLevel
+    virtual_latency_ms: float
+    origin_id: int
+
+    @property
+    def found(self) -> bool:
+        return self.home_id is not None
+
+
+class PrototypeCluster:
+    """A running fleet of MDS nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Initial node count.
+    config:
+        Shared configuration; ``max_group_size`` is G-HBA's M.
+    scheme:
+        ``"ghba"`` or ``"hba"``.
+    seed:
+        Seed for origin selection and placement.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[GHBAConfig] = None,
+        scheme: str = "ghba",
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if scheme not in ("ghba", "hba"):
+            raise ValueError(f"scheme must be 'ghba' or 'hba', got {scheme!r}")
+        self.config = config or GHBAConfig()
+        self.scheme = scheme
+        self.transport = InProcessTransport()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.nodes: Dict[int, MDSNode] = {}
+        self._next_node_id = 0
+        # Directory: group id -> sorted member list; replica placements
+        # per group: {replica_home_id: hosting node}.
+        self.groups: Dict[int, List[int]] = {}
+        self._group_of: Dict[int, int] = {}
+        self._placements: Dict[int, Dict[int, int]] = {}
+        self._next_group_id = 0
+        self._build(num_nodes)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _spawn_node(self) -> MDSNode:
+        node = MDSNode(self._next_node_id, self.config, self.transport)
+        self.nodes[node.node_id] = node
+        self._next_node_id += 1
+        node.start()
+        return node
+
+    def _build(self, num_nodes: int) -> None:
+        for _ in range(num_nodes):
+            self._spawn_node()
+        node_ids = sorted(self.nodes)
+        if self.scheme == "hba":
+            group_id = self._new_group_id()
+            self.groups[group_id] = list(node_ids)
+            for node_id in node_ids:
+                self._group_of[node_id] = group_id
+            self._placements[group_id] = {}
+            # Full replication: every node hosts every other node's filter.
+            for node_id in node_ids:
+                replica = self.nodes[node_id].server.publish_filter()
+                for other_id in node_ids:
+                    if other_id != node_id:
+                        self.nodes[other_id].server.host_replica(
+                            node_id, replica.copy()
+                        )
+            return
+        max_size = self.config.max_group_size
+        num_groups = -(-len(node_ids) // max_size)  # ceil: balanced groups
+        base_size, extra = divmod(len(node_ids), num_groups)
+        cursor = 0
+        for index in range(num_groups):
+            size = base_size + (1 if index < extra else 0)
+            group_id = self._new_group_id()
+            members = node_ids[cursor : cursor + size]
+            cursor += size
+            self.groups[group_id] = members
+            self._placements[group_id] = {}
+            for node_id in members:
+                self._group_of[node_id] = group_id
+        for group_id, members in self.groups.items():
+            for node_id in node_ids:
+                if node_id in members:
+                    continue
+                replica = self.nodes[node_id].server.publish_filter()
+                host = self._lightest_member(group_id)
+                self.nodes[host].server.host_replica(node_id, replica)
+                self._placements[group_id][node_id] = host
+
+    def _new_group_id(self) -> int:
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        return group_id
+
+    def _lightest_member(self, group_id: int) -> int:
+        counts = {member: 0 for member in self.groups[group_id]}
+        for host in self._placements[group_id].values():
+            # Hosts mid-departure are no longer members; ignore their load.
+            if host in counts:
+                counts[host] += 1
+        return min(counts, key=lambda member: (counts[member], member))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Population (out of band, before query traffic)
+    # ------------------------------------------------------------------
+    def populate(self, paths: Iterable[str], policy: str = "random") -> Dict[str, int]:
+        """Insert fresh records and refresh every replica (direct, bulk)."""
+        node_ids = sorted(self.nodes)
+        placement: Dict[str, int] = {}
+        batches: Dict[int, List[FileMetadata]] = {nid: [] for nid in node_ids}
+        for index, path in enumerate(paths):
+            if policy == "random":
+                home = self._rng.choice(node_ids)
+            else:
+                home = node_ids[index % len(node_ids)]
+            batches[home].append(FileMetadata(path=path, inode=index))
+            placement[path] = home
+        for node_id, records in batches.items():
+            if records:
+                self.nodes[node_id].server.insert_many(records)
+        self._refresh_replicas()
+        return placement
+
+    def set_memory_budget(self, budget_bytes: Optional[int]) -> None:
+        """Apply a per-node memory budget to every node (and future state).
+
+        Used by the latency experiments to anchor both schemes to the same
+        absolute budget after population, when working sets are measurable.
+        """
+        for node in self.nodes.values():
+            node.server.memory.budget_bytes = budget_bytes
+
+    def mean_working_set_bytes(self) -> float:
+        """Mean per-node bytes across all registered memory consumers."""
+        totals = [node.server.memory.total_bytes for node in self.nodes.values()]
+        return sum(totals) / len(totals)
+
+    def _refresh_replicas(self) -> None:
+        """Re-publish every node's filter into the hosting structures."""
+        for node_id, node in self.nodes.items():
+            template = node.server.publish_filter()
+            if self.scheme == "hba":
+                for other in self.nodes.values():
+                    if other.node_id != node_id:
+                        other.server.replace_replica(node_id, template.copy())
+                continue
+            for group_id, placements in self._placements.items():
+                host = placements.get(node_id)
+                if host is not None:
+                    self.nodes[host].server.replace_replica(
+                        node_id, template.copy()
+                    )
+
+    # ------------------------------------------------------------------
+    # Lookup protocol
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        path: str,
+        vtime: float = 0.0,
+        origin_id: Optional[int] = None,
+    ) -> LookupOutcome:
+        """Resolve ``path`` via real messages; return the virtual latency."""
+        net = self.config.network
+        if origin_id is None:
+            with self._lock:
+                origin_id = self._rng.choice(sorted(self.nodes))
+        t = vtime + net.unicast_ms / 1000.0
+
+        def request(dest: int, kind: MessageKind, arrival: float, **payload) -> Message:
+            message = Message(
+                kind=kind, sender=CLIENT, payload=payload, arrival_vtime=arrival
+            )
+            return self.transport.request(dest, message)
+
+        def verify(target: int, arrival: float) -> Tuple[bool, float]:
+            reply = request(target, MessageKind.VERIFY, arrival, path=path)
+            finish = reply.payload["finish_vtime"]
+            return (reply.payload["found"], finish + net.unicast_ms / 1000.0)
+
+        def record_and_finish(
+            level: QueryLevel, home: Optional[int], t_done: float
+        ) -> LookupOutcome:
+            if home is not None:
+                self.transport.send(
+                    origin_id,
+                    Message(
+                        kind=MessageKind.RECORD_LRU,
+                        sender=CLIENT,
+                        payload={"path": path, "home_id": home},
+                        arrival_vtime=t_done,
+                    ),
+                )
+            return LookupOutcome(
+                path=path,
+                home_id=home,
+                level=level,
+                virtual_latency_ms=(t_done - vtime) * 1000.0,
+                origin_id=origin_id,
+            )
+
+        # L1 + L2: one request to the origin node.
+        reply = request(origin_id, MessageKind.PROBE_LOCAL, t, path=path)
+        t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
+        l1_hits = reply.payload["l1_hits"]
+        l2_hits = reply.payload["l2_hits"]
+        if len(l1_hits) == 1:
+            found, t = verify(l1_hits[0], t + net.unicast_ms / 1000.0)
+            if found:
+                return record_and_finish(QueryLevel.L1, l1_hits[0], t)
+            # Stale L1 entry: fall back to a separate L2 probe.
+            reply = request(
+                origin_id,
+                MessageKind.PROBE_SEGMENT,
+                t + net.unicast_ms / 1000.0,
+                path=path,
+            )
+            t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
+            l2_hits = reply.payload["hits"]
+        if l2_hits is not None and len(l2_hits) == 1:
+            found, t = verify(l2_hits[0], t + net.unicast_ms / 1000.0)
+            if found:
+                return record_and_finish(QueryLevel.L2, l2_hits[0], t)
+
+        # L3: multicast within the origin's group (G-HBA only).
+        if self.scheme == "ghba":
+            group_id = self._group_of[origin_id]
+            members = [m for m in self.groups[group_id] if m != origin_id]
+            if members:
+                arrival = t + net.unicast_ms / 1000.0
+                replies = self.transport.gather(
+                    members,
+                    lambda dest: Message(
+                        kind=MessageKind.PROBE_SEGMENT,
+                        sender=CLIENT,
+                        payload={"path": path},
+                        arrival_vtime=arrival,
+                    ),
+                )
+                hits: set = set(l2_hits or [])
+                finish = t
+                for reply in replies.values():
+                    hits.update(reply.payload["hits"])
+                    finish = max(finish, reply.payload["finish_vtime"])
+                t = finish + net.unicast_ms / 1000.0
+                if len(hits) == 1:
+                    target = next(iter(hits))
+                    found, t = verify(target, t + net.unicast_ms / 1000.0)
+                    if found:
+                        return record_and_finish(QueryLevel.L3, target, t)
+
+        # L4: global multicast — every node verifies locally.
+        others = [nid for nid in self.node_ids() if nid != origin_id]
+        arrival = t + net.unicast_ms / 1000.0
+        replies = self.transport.gather(
+            others,
+            lambda dest: Message(
+                kind=MessageKind.VERIFY,
+                sender=CLIENT,
+                payload={"path": path},
+                arrival_vtime=arrival,
+            ),
+        )
+        home: Optional[int] = None
+        finish = t
+        for node_id, reply in replies.items():
+            finish = max(finish, reply.payload["finish_vtime"])
+            if reply.payload["found"]:
+                home = node_id
+        # The origin itself may be the home.
+        origin_reply = request(
+            origin_id, MessageKind.VERIFY, t + net.unicast_ms / 1000.0, path=path
+        )
+        finish = max(finish, origin_reply.payload["finish_vtime"])
+        if origin_reply.payload["found"]:
+            home = origin_id
+        t = finish + net.unicast_ms / 1000.0
+        if home is not None:
+            return record_and_finish(QueryLevel.L4, home, t)
+        return record_and_finish(QueryLevel.NEGATIVE, None, t)
+
+    # ------------------------------------------------------------------
+    # Node addition (Figure 15's measured operation)
+    # ------------------------------------------------------------------
+    def add_node(self) -> Dict[str, int]:
+        """Add one node via the live join protocol; return message counts."""
+        before = self.transport.messages_sent
+        newcomer = self._spawn_node()
+        if self.scheme == "hba":
+            self._hba_join(newcomer)
+        else:
+            self._ghba_join(newcomer)
+        messages = self.transport.messages_sent - before
+        self.quiesce()
+        return {"node_id": newcomer.node_id, "messages": messages}
+
+    def quiesce(self) -> None:
+        """Wait until every node has drained its mailbox.
+
+        Mailboxes are FIFO, so a PING round trip to each node guarantees all
+        previously sent one-way messages (replica transfers) are applied.
+        One-way transfers relayed through another node (COPY_REPLICA_TO)
+        need two passes: the first drains the control messages, the second
+        the transfers they spawned.  Sync pings are not counted on the wire.
+        """
+        for _ in range(2):
+            for node_id in self.node_ids():
+                self.transport.request(
+                    node_id,
+                    Message(kind=MessageKind.PING, sender=CLIENT),
+                    count=False,
+                )
+
+    def _hba_join(self, newcomer: MDSNode) -> None:
+        """HBA join: exchange Bloom filters with every existing node."""
+        template = newcomer.server.publish_filter()
+        group_id = self._group_of[next(iter(self.groups.values()))[0]]
+        for node_id in self.node_ids():
+            if node_id == newcomer.node_id:
+                continue
+            reply = self.transport.request(
+                node_id,
+                Message(
+                    kind=MessageKind.EXCHANGE_REPLICA,
+                    sender=CLIENT,
+                    payload={"home_id": newcomer.node_id, "replica": template.copy()},
+                ),
+            )
+            newcomer.server.host_replica(node_id, reply.payload["replica"])
+        self.groups[group_id].append(newcomer.node_id)
+        self.groups[group_id].sort()
+        self._group_of[newcomer.node_id] = group_id
+
+    def _ghba_join(self, newcomer: MDSNode) -> None:
+        """G-HBA join: fill a group with room, or split the fullest group."""
+        max_size = self.config.max_group_size
+        with_room = [
+            gid for gid, members in self.groups.items() if len(members) < max_size
+        ]
+        if not with_room:
+            self._split_fullest_group()
+            # The split's replica transfers are one-way and may still be in
+            # flight; the join below redistributes some of those replicas,
+            # so wait for them to land first.
+            self.quiesce()
+            with_room = [
+                gid
+                for gid, members in self.groups.items()
+                if len(members) < max_size
+            ]
+        group_id = min(with_room, key=lambda gid: (len(self.groups[gid]), gid))
+        members = self.groups[group_id]
+        placements = self._placements[group_id]
+        n_after = self.num_nodes
+        target = math.ceil(
+            max(0, n_after - (len(members) + 1)) / (len(members) + 1)
+        )
+        # Light-weight migration: members offload excess replicas by telling
+        # the host to ship them to the newcomer (control + transfer).
+        counts: Dict[int, List[int]] = {member: [] for member in members}
+        for replica_id, host in placements.items():
+            counts[host].append(replica_id)
+        for member in members:
+            hosted = sorted(counts[member])
+            excess = len(hosted) - target
+            for replica_id in hosted[-max(0, excess):] if excess > 0 else []:
+                self.transport.send(
+                    member,
+                    Message(
+                        kind=MessageKind.COPY_REPLICA_TO,
+                        sender=CLIENT,
+                        payload={
+                            "home_id": replica_id,
+                            "dest": newcomer.node_id,
+                            "drop": True,
+                        },
+                    ),
+                )
+                placements[replica_id] = newcomer.node_id
+        # Updated IDBFA multicast within the group (one message per member).
+        for member in members:
+            self.transport.send(
+                member,
+                Message(kind=MessageKind.PING, sender=CLIENT),
+            )
+        self.groups[group_id].append(newcomer.node_id)
+        self.groups[group_id].sort()
+        self._group_of[newcomer.node_id] = group_id
+        # The newcomer's filter goes to one node of every *other* group.
+        for other_gid in self.groups:
+            if other_gid == group_id:
+                continue
+            host = self._lightest_member(other_gid)
+            self.transport.send(
+                newcomer.node_id,
+                Message(
+                    kind=MessageKind.SEND_LOCAL_TO,
+                    sender=CLIENT,
+                    payload={"dest": host},
+                ),
+            )
+            self._placements[other_gid][newcomer.node_id] = host
+
+    def remove_node(self, node_id: int) -> Dict[str, int]:
+        """Gracefully remove a node via the live protocol (Section 3.1).
+
+        The departing node's hosted replicas migrate to remaining group
+        members; every other group is told to drop its replica; its
+        metadata records are re-homed out of band (like population).
+        Groups that now fit within M merge.  Returns message counts.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        if self.num_nodes == 1:
+            raise ValueError("cannot remove the last node")
+        before = self.transport.messages_sent
+        departing = self.nodes[node_id]
+        if self.scheme == "hba":
+            self._hba_leave(node_id)
+        else:
+            self._ghba_leave(node_id)
+        messages = self.transport.messages_sent - before
+        self.quiesce()  # let the one-way drops and transfers land
+        # Out-of-band re-homing of the departing node's metadata, followed
+        # by a replica refresh so the moved files become routable.
+        records = list(departing.server.store.records())
+        departing.stop()
+        del self.nodes[node_id]
+        survivors = self.node_ids()
+        for index, meta in enumerate(records):
+            target = self.nodes[survivors[index % len(survivors)]]
+            target.server.insert_metadata(meta)
+        self._refresh_replicas()
+        return {"node_id": node_id, "messages": messages}
+
+    def _hba_leave(self, node_id: int) -> None:
+        group_id = self._group_of.pop(node_id)
+        self.groups[group_id].remove(node_id)
+        for other_id in self.node_ids():
+            if other_id == node_id:
+                continue
+            self.transport.send(
+                other_id,
+                Message(
+                    kind=MessageKind.DROP_REPLICA,
+                    sender=CLIENT,
+                    payload={"home_id": node_id},
+                ),
+            )
+
+    def _ghba_leave(self, node_id: int) -> None:
+        group_id = self._group_of.pop(node_id)
+        members = self.groups[group_id]
+        members.remove(node_id)
+        placements = self._placements[group_id]
+        # (1) migrate the departing node's hosted replicas to peers.
+        hosted = sorted(
+            replica_id
+            for replica_id, host in placements.items()
+            if host == node_id
+        )
+        for replica_id in hosted:
+            if not members:
+                del placements[replica_id]
+                continue
+            dest = self._lightest_member(group_id)
+            self.transport.send(
+                node_id,
+                Message(
+                    kind=MessageKind.COPY_REPLICA_TO,
+                    sender=CLIENT,
+                    payload={"home_id": replica_id, "dest": dest, "drop": True},
+                ),
+            )
+            placements[replica_id] = dest
+        # (2) updated IDBFA multicast within the group.
+        for member in members:
+            self.transport.send(
+                member, Message(kind=MessageKind.PING, sender=CLIENT)
+            )
+        # (3) every other group drops the departing node's replica.
+        for other_gid, other_placements in self._placements.items():
+            if other_gid == group_id:
+                continue
+            host = other_placements.pop(node_id, None)
+            if host is not None:
+                self.transport.send(
+                    host,
+                    Message(
+                        kind=MessageKind.DROP_REPLICA,
+                        sender=CLIENT,
+                        payload={"home_id": node_id},
+                    ),
+                )
+        if not members:
+            del self.groups[group_id]
+            del self._placements[group_id]
+        self._maybe_merge_groups()
+
+    def _maybe_merge_groups(self) -> None:
+        """Merge the two smallest groups while they fit within M."""
+        max_size = self.config.max_group_size
+        while True:
+            by_size = sorted(self.groups, key=lambda g: (len(self.groups[g]), g))
+            if len(by_size) < 2:
+                return
+            small_gid, next_gid = by_size[0], by_size[1]
+            if len(self.groups[small_gid]) + len(self.groups[next_gid]) > max_size:
+                return
+            self._merge_into(next_gid, small_gid)
+
+    def _merge_into(self, target_gid: int, source_gid: int) -> None:
+        """Fold ``source_gid`` into ``target_gid``: the target keeps its
+        mirror; the source's members drop their (now duplicate) replicas
+        and join; replicas of the ex-source members become internal and are
+        dropped from the target."""
+        source_members = self.groups.pop(source_gid)
+        source_placements = self._placements.pop(source_gid)
+        target_placements = self._placements[target_gid]
+        for replica_id, host in source_placements.items():
+            self.transport.send(
+                host,
+                Message(
+                    kind=MessageKind.DROP_REPLICA,
+                    sender=CLIENT,
+                    payload={"home_id": replica_id},
+                ),
+            )
+        for member in source_members:
+            host = target_placements.pop(member, None)
+            if host is not None:
+                self.transport.send(
+                    host,
+                    Message(
+                        kind=MessageKind.DROP_REPLICA,
+                        sender=CLIENT,
+                        payload={"home_id": member},
+                    ),
+                )
+            self.groups[target_gid].append(member)
+            self._group_of[member] = target_gid
+        self.groups[target_gid].sort()
+
+    def _split_fullest_group(self) -> None:
+        """Split the fullest group in two (Section 3.2), message by message.
+
+        Members keep the replicas they already host; each half then copies
+        the replicas it now lacks from the other half and receives the
+        other half's members' own filters.
+        """
+        victim_gid = max(self.groups, key=lambda gid: (len(self.groups[gid]), -gid))
+        members = self.groups[victim_gid]
+        half = len(members) // 2
+        a_members = members[: len(members) - half]
+        b_members = members[len(members) - half :]
+        b_gid = self._new_group_id()
+        old_placements = self._placements[victim_gid]
+        a_placements: Dict[int, int] = {}
+        b_placements: Dict[int, int] = {}
+        for replica_id, host in old_placements.items():
+            if host in a_members:
+                a_placements[replica_id] = host
+            else:
+                b_placements[replica_id] = host
+        self.groups[victim_gid] = a_members
+        self.groups[b_gid] = b_members
+        self._placements[victim_gid] = a_placements
+        self._placements[b_gid] = b_placements
+        for member in b_members:
+            self._group_of[member] = b_gid
+        # Cross-copy the replicas each half lacks (copy, not migrate).
+        for replica_id, host in list(b_placements.items()):
+            if replica_id in a_placements:
+                continue
+            dest = self._lightest_member(victim_gid)
+            self.transport.send(
+                host,
+                Message(
+                    kind=MessageKind.COPY_REPLICA_TO,
+                    sender=CLIENT,
+                    payload={"home_id": replica_id, "dest": dest, "drop": False},
+                ),
+            )
+            a_placements[replica_id] = dest
+        for replica_id, host in list(a_placements.items()):
+            if replica_id in b_placements:
+                continue
+            dest = self._lightest_member(b_gid)
+            self.transport.send(
+                host,
+                Message(
+                    kind=MessageKind.COPY_REPLICA_TO,
+                    sender=CLIENT,
+                    payload={"home_id": replica_id, "dest": dest, "drop": False},
+                ),
+            )
+            b_placements[replica_id] = dest
+        # Each half needs the other half's members' own filters as replicas.
+        for member in b_members:
+            dest = self._lightest_member(victim_gid)
+            self.transport.send(
+                member,
+                Message(
+                    kind=MessageKind.SEND_LOCAL_TO,
+                    sender=CLIENT,
+                    payload={"dest": dest},
+                ),
+            )
+            a_placements[member] = dest
+        for member in a_members:
+            dest = self._lightest_member(b_gid)
+            self.transport.send(
+                member,
+                Message(
+                    kind=MessageKind.SEND_LOCAL_TO,
+                    sender=CLIENT,
+                    payload={"dest": dest},
+                ),
+            )
+            b_placements[member] = dest
+        # Rebuilt IDBFAs are multicast within each new group.
+        for member in a_members + b_members:
+            self.transport.send(
+                member, Message(kind=MessageKind.PING, sender=CLIENT)
+            )
+
+    # ------------------------------------------------------------------
+    # Consistency check & shutdown
+    # ------------------------------------------------------------------
+    def check_directory(self) -> None:
+        """Assert each G-HBA group holds a full mirror of outside nodes."""
+        if self.scheme != "ghba":
+            return
+        all_ids = set(self.nodes)
+        for group_id, members in self.groups.items():
+            expected = all_ids - set(members)
+            placements = self._placements[group_id]
+            if set(placements) != expected:
+                raise AssertionError(
+                    f"group {group_id} mirror broken: "
+                    f"missing={sorted(expected - set(placements))}, "
+                    f"extra={sorted(set(placements) - expected)}"
+                )
+            for replica_id, host in placements.items():
+                if replica_id not in self.nodes[host].server.segment:
+                    raise AssertionError(
+                        f"node {host} does not actually host replica "
+                        f"{replica_id} (group {group_id})"
+                    )
+
+    def shutdown(self) -> None:
+        """Stop every node thread."""
+        for node in list(self.nodes.values()):
+            node.stop()
+        self.nodes.clear()
+
+    def __enter__(self) -> "PrototypeCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"PrototypeCluster(scheme={self.scheme!r}, nodes={self.num_nodes}, "
+            f"groups={len(self.groups)})"
+        )

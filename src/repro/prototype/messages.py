@@ -1,0 +1,70 @@
+"""Wire messages of the prototype protocol."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_request_ids = itertools.count(1)
+
+
+class MessageKind(enum.Enum):
+    """Request kinds a node understands (plus the generic REPLY)."""
+
+    PROBE_LRU = "probe_lru"          # L1 probe at one node
+    PROBE_LOCAL = "probe_local"      # combined L1 + L2 probe at the origin
+    PROBE_SEGMENT = "probe_segment"  # L2 probe (segment array + local filter)
+    VERIFY = "verify"                # home-MDS verification (filter + store)
+    INSERT = "insert"                # become home for a metadata record
+    HOST_REPLICA = "host_replica"    # start hosting a BF replica
+    DROP_REPLICA = "drop_replica"    # stop hosting a BF replica
+    REPLACE_REPLICA = "replace_replica"  # replica update
+    PUBLISH = "publish"              # snapshot local filter for replication
+    COPY_REPLICA_TO = "copy_replica_to"  # ship a hosted replica to a peer
+    SEND_LOCAL_TO = "send_local_to"      # ship own local filter to a peer
+    EXCHANGE_REPLICA = "exchange_replica"  # HBA join: swap filters
+    RECORD_LRU = "record_lru"        # feed a resolved mapping into L1
+    PING = "ping"                    # heartbeat
+    STOP = "stop"                    # shut the node down
+    REPLY = "reply"
+
+
+@dataclass
+class Message:
+    """One message on the wire.
+
+    Attributes
+    ----------
+    kind:
+        Request kind (or REPLY).
+    sender:
+        Node/client identifier of the sender (clients use negative IDs).
+    payload:
+        Kind-specific data.
+    request_id:
+        Correlation ID; replies carry the request's ID.
+    reply_to:
+        Queue the reply must be pushed to (None for one-way messages).
+    arrival_vtime:
+        Virtual time (seconds) at which the request reaches the node —
+        drives the node's single-server queue accounting.
+    """
+
+    kind: MessageKind
+    sender: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    reply_to: Optional["queue.Queue[Message]"] = None
+    arrival_vtime: float = 0.0
+
+    def reply(self, **payload: Any) -> "Message":
+        """Build the reply to this message."""
+        return Message(
+            kind=MessageKind.REPLY,
+            sender=-1,
+            payload=payload,
+            request_id=self.request_id,
+        )

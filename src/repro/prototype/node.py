@@ -1,0 +1,305 @@
+"""One MDS node: a daemon thread serving protocol requests.
+
+The node wraps a :class:`~repro.core.server.MetadataServer` (the same state
+machine the simulator uses) behind a mailbox.  Requests are served strictly
+one at a time — the node *is* a single-server queue — and each request
+advances the node's **virtual clock**: service begins at
+``max(arrival_vtime, busy_until)`` and costs a service time derived from the
+shared network/memory cost model.  Replies carry the virtual finish time, so
+clients can compute end-to-end virtual latency deterministically while the
+message flow itself runs concurrently across real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.config import GHBAConfig
+from repro.core.server import CONSUMER_METADATA, MetadataServer
+from repro.metadata.attributes import FileMetadata
+from repro.prototype.messages import Message, MessageKind
+from repro.prototype.transport import InProcessTransport
+
+
+class MDSNode(threading.Thread):
+    """A metadata server thread.
+
+    Parameters
+    ----------
+    node_id:
+        Server ID (also the transport address).
+    config:
+        Shared G-HBA configuration (filter geometry, network costs).
+    transport:
+        Transport to register with.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: GHBAConfig,
+        transport: InProcessTransport,
+    ) -> None:
+        super().__init__(name=f"mds-{node_id}", daemon=True)
+        self.node_id = node_id
+        self.config = config
+        self.transport = transport
+        self.server = MetadataServer(node_id, config)
+        self._mailbox = transport.register(node_id)
+        self._clock_lock = threading.Lock()
+        self._busy_until = 0.0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Virtual clock
+    # ------------------------------------------------------------------
+    def _serve(self, arrival_vtime: float, service_ms: float) -> float:
+        """Account one request on the virtual clock; return finish time."""
+        with self._clock_lock:
+            start = max(arrival_vtime, self._busy_until)
+            finish = start + service_ms / 1000.0
+            self._busy_until = finish
+            return finish
+
+    @property
+    def busy_until(self) -> float:
+        with self._clock_lock:
+            return self._busy_until
+
+    # ------------------------------------------------------------------
+    # Service-time model (mirrors the simulator's costs)
+    # ------------------------------------------------------------------
+    def _lru_probe_ms(self) -> float:
+        return self.config.network.memory_probe_ms * max(
+            1, self.server.lru.num_filters
+        )
+
+    def _segment_probe_ms(self) -> float:
+        net = self.config.network
+        fraction = self.server.replica_memory_fraction()
+        return net.probe_cost_ms(self.server.theta, fraction) + net.memory_probe_ms
+
+    def _verify_ms(self, positive: bool) -> float:
+        net = self.config.network
+        cost = net.memory_probe_ms
+        if positive:
+            fraction = self.server.memory.resident_fraction(CONSUMER_METADATA)
+            cost += (
+                fraction * net.memory_record_ms
+                + (1.0 - fraction) * net.disk_access_ms
+            )
+        return cost
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:  # pragma: no cover - exercised via integration
+        while True:
+            message = self._mailbox.get()
+            if message.kind is MessageKind.STOP:
+                if message.reply_to is not None:
+                    message.reply_to.put(message.reply(stopped=True))
+                break
+            self._handle(message)
+
+    def _handle(self, message: Message) -> None:
+        handler = {
+            MessageKind.PROBE_LRU: self._on_probe_lru,
+            MessageKind.PROBE_LOCAL: self._on_probe_local,
+            MessageKind.PROBE_SEGMENT: self._on_probe_segment,
+            MessageKind.COPY_REPLICA_TO: self._on_copy_replica_to,
+            MessageKind.SEND_LOCAL_TO: self._on_send_local_to,
+            MessageKind.EXCHANGE_REPLICA: self._on_exchange_replica,
+            MessageKind.VERIFY: self._on_verify,
+            MessageKind.INSERT: self._on_insert,
+            MessageKind.HOST_REPLICA: self._on_host_replica,
+            MessageKind.DROP_REPLICA: self._on_drop_replica,
+            MessageKind.REPLACE_REPLICA: self._on_replace_replica,
+            MessageKind.PUBLISH: self._on_publish,
+            MessageKind.RECORD_LRU: self._on_record_lru,
+            MessageKind.PING: self._on_ping,
+        }.get(message.kind)
+        if handler is None:
+            reply = message.reply(error=f"unknown kind {message.kind.value}")
+        else:
+            try:
+                reply = handler(message)
+            except Exception as exc:  # a bad request must not kill the node
+                reply = message.reply(error=f"{type(exc).__name__}: {exc}")
+        self.requests_served += 1
+        if message.reply_to is not None:
+            message.reply_to.put(reply)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _on_probe_lru(self, message: Message) -> Message:
+        path = message.payload["path"]
+        finish = self._serve(message.arrival_vtime, self._lru_probe_ms())
+        lookup = self.server.probe_lru(path)
+        return message.reply(hits=list(lookup.hits), finish_vtime=finish)
+
+    def _on_probe_local(self, message: Message) -> Message:
+        """Combined L1 + L2 probe — the origin MDS's local critical path."""
+        path = message.payload["path"]
+        service_ms = self._lru_probe_ms()
+        l1 = self.server.probe_lru(path)
+        l2_hits = None
+        if not l1.is_unique:
+            service_ms += self._segment_probe_ms()
+            l2_hits = list(self.server.probe_segment(path).hits)
+        finish = self._serve(message.arrival_vtime, service_ms)
+        return message.reply(
+            l1_hits=list(l1.hits), l2_hits=l2_hits, finish_vtime=finish
+        )
+
+    def _on_copy_replica_to(self, message: Message) -> Message:
+        """Ship the hosted replica of ``home_id`` to ``dest`` (one-way).
+
+        Used during group split/merge and joins: the receiving peer gets a
+        HOST_REPLICA message.  With ``drop=True`` this is a migration (the
+        replica leaves this node); otherwise a copy.
+        """
+        home_id = message.payload["home_id"]
+        dest = message.payload["dest"]
+        drop = message.payload.get("drop", False)
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        if drop:
+            replica = self.server.drop_replica(home_id)
+        else:
+            replica = self.server.segment.get_replica(home_id).copy()
+        self.transport.send(
+            dest,
+            Message(
+                kind=MessageKind.HOST_REPLICA,
+                sender=self.node_id,
+                payload={"home_id": home_id, "replica": replica},
+                arrival_vtime=finish,
+            ),
+        )
+        return message.reply(ok=True, finish_vtime=finish)
+
+    def _on_send_local_to(self, message: Message) -> Message:
+        """Ship this node's own filter as a replica to ``dest`` (one-way)."""
+        dest = message.payload["dest"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        replica = self.server.publish_filter()
+        self.transport.send(
+            dest,
+            Message(
+                kind=MessageKind.HOST_REPLICA,
+                sender=self.node_id,
+                payload={"home_id": self.node_id, "replica": replica},
+                arrival_vtime=finish,
+            ),
+        )
+        return message.reply(ok=True, finish_vtime=finish)
+
+    def _on_exchange_replica(self, message: Message) -> Message:
+        """HBA join: host the newcomer's filter, reply with our own."""
+        home_id = message.payload["home_id"]
+        replica = message.payload["replica"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        if home_id in self.server.segment:
+            self.server.replace_replica(home_id, replica)
+        else:
+            self.server.host_replica(home_id, replica)
+        return message.reply(
+            replica=self.server.publish_filter(), finish_vtime=finish
+        )
+
+    def _on_probe_segment(self, message: Message) -> Message:
+        path = message.payload["path"]
+        finish = self._serve(message.arrival_vtime, self._segment_probe_ms())
+        lookup = self.server.probe_segment(path)
+        return message.reply(hits=list(lookup.hits), finish_vtime=finish)
+
+    def _on_verify(self, message: Message) -> Message:
+        path = message.payload["path"]
+        positive = self.server.local_filter.query(path)
+        finish = self._serve(message.arrival_vtime, self._verify_ms(positive))
+        meta = self.server.store.get(path) if positive else None
+        return message.reply(
+            found=meta is not None,
+            home_id=self.node_id if meta is not None else None,
+            finish_vtime=finish,
+        )
+
+    def _on_insert(self, message: Message) -> Message:
+        meta: FileMetadata = message.payload["meta"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        self.server.insert_metadata(meta)
+        return message.reply(ok=True, finish_vtime=finish)
+
+    def _on_host_replica(self, message: Message) -> Message:
+        home_id = message.payload["home_id"]
+        replica = message.payload["replica"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        self.server.host_replica(home_id, replica)
+        return message.reply(ok=True, finish_vtime=finish)
+
+    def _on_drop_replica(self, message: Message) -> Message:
+        home_id = message.payload["home_id"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        replica = self.server.drop_replica(home_id)
+        return message.reply(ok=True, replica=replica, finish_vtime=finish)
+
+    def _on_replace_replica(self, message: Message) -> Message:
+        home_id = message.payload["home_id"]
+        replica = message.payload["replica"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        if home_id in self.server.segment:
+            self.server.replace_replica(home_id, replica)
+            return message.reply(ok=True, finish_vtime=finish)
+        # A falsely identified target simply drops the update (Section 2.4).
+        return message.reply(ok=False, finish_vtime=finish)
+
+    def _on_publish(self, message: Message) -> Message:
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_record_ms
+        )
+        return message.reply(
+            replica=self.server.publish_filter(), finish_vtime=finish
+        )
+
+    def _on_record_lru(self, message: Message) -> Message:
+        path = message.payload["path"]
+        home_id = message.payload["home_id"]
+        finish = self._serve(
+            message.arrival_vtime, self.config.network.memory_probe_ms
+        )
+        self.server.record_lru(path, home_id)
+        return message.reply(ok=True, finish_vtime=finish)
+
+    def _on_ping(self, message: Message) -> Message:
+        return message.reply(alive=True, finish_vtime=message.arrival_vtime)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Ask the node to exit and join the thread."""
+        try:
+            self.transport.request(
+                self.node_id,
+                Message(kind=MessageKind.STOP, sender=-1),
+                timeout_s=timeout_s,
+            )
+        except Exception:
+            pass
+        self.join(timeout=timeout_s)
+        self.transport.deregister(self.node_id)

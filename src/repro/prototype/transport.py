@@ -1,0 +1,138 @@
+"""In-process transport: per-node mailboxes with wire-level accounting.
+
+Each registered node owns a :class:`queue.Queue` mailbox.  ``send`` enqueues
+a message and bumps the message counter; ``request`` additionally blocks on
+a private reply queue.  Counting happens here — at the transport — so the
+message totals of Figures 14-15 are *observed*, not computed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.prototype.messages import Message
+
+
+class TransportClosed(Exception):
+    """Raised when sending to a deregistered node."""
+
+
+class InProcessTransport:
+    """Registry of node mailboxes plus message counters."""
+
+    def __init__(self, default_timeout_s: float = 30.0) -> None:
+        self._mailboxes: Dict[int, "queue.Queue[Message]"] = {}
+        self._lock = threading.Lock()
+        self._messages_sent = 0
+        self._replies_received = 0
+        self._default_timeout = default_timeout_s
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, node_id: int) -> "queue.Queue[Message]":
+        with self._lock:
+            if node_id in self._mailboxes:
+                raise ValueError(f"node {node_id} already registered")
+            mailbox: "queue.Queue[Message]" = queue.Queue()
+            self._mailboxes[node_id] = mailbox
+            return mailbox
+
+    def deregister(self, node_id: int) -> None:
+        with self._lock:
+            self._mailboxes.pop(node_id, None)
+
+    def node_ids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._mailboxes)
+
+    def __contains__(self, node_id: int) -> bool:
+        with self._lock:
+            return node_id in self._mailboxes
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        with self._lock:
+            return self._messages_sent
+
+    @property
+    def replies_received(self) -> int:
+        with self._lock:
+            return self._replies_received
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._messages_sent = 0
+            self._replies_received = 0
+
+    def send(self, dest: int, message: Message, count: bool = True) -> None:
+        """One-way send (counted as one message unless ``count=False``,
+        which is reserved for harness-level synchronization pings)."""
+        with self._lock:
+            mailbox = self._mailboxes.get(dest)
+            if mailbox is None:
+                raise TransportClosed(f"node {dest} is not registered")
+            if count:
+                self._messages_sent += 1
+        mailbox.put(message)
+
+    def request(
+        self,
+        dest: int,
+        message: Message,
+        timeout_s: Optional[float] = None,
+        count: bool = True,
+    ) -> Message:
+        """Send and block for the reply (request + reply = 2 messages)."""
+        reply_queue: "queue.Queue[Message]" = queue.Queue(maxsize=1)
+        message.reply_to = reply_queue
+        self.send(dest, message, count=count)
+        try:
+            reply = reply_queue.get(
+                timeout=timeout_s if timeout_s is not None else self._default_timeout
+            )
+        except queue.Empty:
+            raise TimeoutError(
+                f"no reply from node {dest} for {message.kind.value} "
+                f"(request {message.request_id})"
+            ) from None
+        with self._lock:
+            if count:
+                self._messages_sent += 1  # the reply on the wire
+            self._replies_received += 1
+        return reply
+
+    def gather(
+        self,
+        dests: Iterable[int],
+        build_message,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[int, Message]:
+        """Multicast: send to every dest, then gather all replies.
+
+        ``build_message(dest)`` constructs each request (so every request
+        carries its own reply queue).  Returns ``{dest: reply}``.
+        """
+        reply_queues: Dict[int, "queue.Queue[Message]"] = {}
+        for dest in dests:
+            message = build_message(dest)
+            reply_queue: "queue.Queue[Message]" = queue.Queue(maxsize=1)
+            message.reply_to = reply_queue
+            self.send(dest, message)
+            reply_queues[dest] = reply_queue
+        replies: Dict[int, Message] = {}
+        timeout = timeout_s if timeout_s is not None else self._default_timeout
+        for dest, reply_queue in reply_queues.items():
+            try:
+                replies[dest] = reply_queue.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(f"no reply from node {dest}") from None
+            with self._lock:
+                self._messages_sent += 1
+                self._replies_received += 1
+        return replies

@@ -1,0 +1,153 @@
+"""A deterministic discrete-event simulation engine.
+
+The engine is a classic calendar queue: events are ``(time, seq, callback)``
+triples ordered by time, with a monotonically increasing sequence number
+breaking ties so that events scheduled earlier run earlier (FIFO among equal
+timestamps).  Determinism matters: every experiment in this repository must
+be exactly reproducible from its seed.
+
+Used directly by the failure-detection machinery (periodic heart-beats) and
+by integration tests; the latency experiments use the analytic
+:class:`~repro.sim.network.NetworkModel` costs without full event scheduling
+where a closed-form accumulation is equivalent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """Handle for a scheduled event; usable for cancellation."""
+
+    time: float
+    seq: int
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Heap-based discrete-event scheduler with virtual time in seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._cancelled: set = set()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return len(self._queue) - len(self._cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq))
+        heapq.heappush(self._queue, (event.time, event.seq, callback))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        self._cancelled.add((event.time, event.seq))
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start_delay: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` seconds until stopped.
+
+        Returns a ``stop()`` function that cancels future firings.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        state = {"stopped": False, "event": None}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            state["event"] = self.schedule(interval, fire)
+
+        def stop() -> None:
+            state["stopped"] = True
+            if state["event"] is not None:
+                self.cancel(state["event"])
+
+        first_delay = interval if start_delay is None else start_delay
+        state["event"] = self.schedule(first_delay, fire)
+        return stop
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; return False if the queue is empty."""
+        while self._queue:
+            time, seq, callback = heapq.heappop(self._queue)
+            if (time, seq) in self._cancelled:
+                self._cancelled.discard((time, seq))
+                continue
+            self._now = time
+            self._processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``); return the count."""
+        executed = 0
+        while max_events is None or executed < max_events:
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run every event with timestamp <= ``time``; advance now to it."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards: {time} < now {self._now}")
+        executed = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if next_time > time:
+                break
+            if self.step():
+                executed += 1
+        self._now = max(self._now, time)
+        return executed
+
+    def advance(self, delay: float) -> int:
+        """Run every event in the next ``delay`` seconds."""
+        return self.run_until(self._now + delay)

@@ -1,0 +1,170 @@
+"""Per-MDS memory budget model.
+
+The decisive difference between HBA and G-HBA in Figures 8-10 is *where the
+Bloom filter replicas live*.  HBA stores ``N`` replicas per MDS; once those
+outgrow main memory, every array probe starts paying disk latency.  G-HBA
+stores only ``(N - M') / M'`` replicas per MDS, which keeps the array
+memory-resident at system scales where HBA has long since spilled.
+
+:class:`MemoryModel` tracks named consumers (Bloom filter arrays, LRU array,
+metadata records) against a byte budget and answers the single question the
+latency model needs: *what fraction of the Bloom filter replicas are
+memory-resident right now?*  Consumers are ranked by priority — the LRU
+array and local filter are pinned first, then replicas, then metadata —
+mirroring how a real MDS would pin its hot lookup structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MemoryConsumer:
+    """One named consumer of MDS memory."""
+
+    name: str
+    bytes_used: int
+    priority: int  # lower = pinned earlier
+
+    def __post_init__(self) -> None:
+        if self.bytes_used < 0:
+            raise ValueError(f"bytes_used must be non-negative, got {self.bytes_used}")
+
+
+#: Conventional priorities: pinned lookup structures first, bulk data last.
+PRIORITY_PINNED = 0
+PRIORITY_REPLICAS = 1
+PRIORITY_METADATA = 2
+
+
+class MemoryModel:
+    """Byte-budgeted memory with priority-ordered residency.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total main memory available for metadata structures.  ``None`` means
+        unbounded.
+    mode:
+        Residency policy when overcommitted.  ``"priority"`` admits consumers
+        in priority order and spills the tail; ``"proportional"`` models an
+        LRU-paged memory where every consumer keeps the same resident
+        fraction ``budget / total`` — the smoother model the latency
+        experiments use (DESIGN.md §5).
+    """
+
+    MODES = ("priority", "proportional")
+
+    def __init__(
+        self, budget_bytes: Optional[int] = None, mode: str = "priority"
+    ) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be non-negative, got {budget_bytes}")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self._budget = budget_bytes
+        self._mode = mode
+        self._consumers: Dict[str, MemoryConsumer] = {}
+
+    # ------------------------------------------------------------------
+    # Consumer registration
+    # ------------------------------------------------------------------
+    def set_consumer(self, name: str, bytes_used: int, priority: int) -> None:
+        """Register or update the footprint of a named consumer."""
+        self._consumers[name] = MemoryConsumer(name, bytes_used, priority)
+
+    def remove_consumer(self, name: str) -> None:
+        self._consumers.pop(name, None)
+
+    def consumer_bytes(self, name: str) -> int:
+        consumer = self._consumers.get(name)
+        return consumer.bytes_used if consumer else 0
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def budget_bytes(self) -> Optional[int]:
+        return self._budget
+
+    @budget_bytes.setter
+    def budget_bytes(self, budget: Optional[int]) -> None:
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self._budget = budget
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all consumer footprints."""
+        return sum(c.bytes_used for c in self._consumers.values())
+
+    @property
+    def overcommitted(self) -> bool:
+        return self._budget is not None and self.total_bytes > self._budget
+
+    # ------------------------------------------------------------------
+    # Residency computation
+    # ------------------------------------------------------------------
+    def _residency(self) -> Dict[str, float]:
+        """Fraction of each consumer resident in memory.
+
+        Consumers are admitted in priority order (stable by name within a
+        priority); the first consumer that does not fully fit is partially
+        resident and everything after it is spilled.
+        """
+        if self._budget is None:
+            return {name: 1.0 for name in self._consumers}
+        if self._mode == "proportional":
+            total = self.total_bytes
+            fraction = 1.0 if total <= self._budget else self._budget / total
+            return {name: fraction for name in self._consumers}
+        remaining = self._budget
+        fractions: Dict[str, float] = {}
+        ordered = sorted(
+            self._consumers.values(), key=lambda c: (c.priority, c.name)
+        )
+        for consumer in ordered:
+            if consumer.bytes_used == 0:
+                fractions[consumer.name] = 1.0
+                continue
+            if remaining >= consumer.bytes_used:
+                fractions[consumer.name] = 1.0
+                remaining -= consumer.bytes_used
+            elif remaining > 0:
+                fractions[consumer.name] = remaining / consumer.bytes_used
+                remaining = 0
+            else:
+                fractions[consumer.name] = 0.0
+        return fractions
+
+    def resident_fraction(self, name: str) -> float:
+        """Fraction of consumer ``name`` currently memory-resident."""
+        if name not in self._consumers:
+            raise KeyError(f"unknown consumer {name!r}")
+        return self._residency()[name]
+
+    def snapshot(self) -> List[Tuple[str, int, float]]:
+        """Return ``(name, bytes, resident_fraction)`` per consumer."""
+        fractions = self._residency()
+        return [
+            (c.name, c.bytes_used, fractions[c.name])
+            for c in sorted(
+                self._consumers.values(), key=lambda c: (c.priority, c.name)
+            )
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryModel(budget={self._budget}, total={self.total_bytes}, "
+            f"consumers={len(self._consumers)})"
+        )
+
+
+def megabytes(mb: float) -> int:
+    """Convenience: convert MB to bytes (the paper quotes memory in MB/GB)."""
+    if mb < 0:
+        raise ValueError(f"mb must be non-negative, got {mb}")
+    return int(mb * 1024 * 1024)

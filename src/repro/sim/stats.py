@@ -1,0 +1,209 @@
+"""Metric recorders used by the simulator and the benchmark harness.
+
+Three recorders cover every figure in the paper:
+
+- :class:`Counter` — named event counts (per-level hits for Figure 13,
+  message counts for Figures 11/15).
+- :class:`LatencyRecorder` — streaming mean/min/max plus exact percentiles
+  over a bounded reservoir.
+- :class:`SeriesRecorder` — windowed averages, producing the
+  "average latency vs. number of operations" series of Figures 8-10 and 14.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class Counter:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Each counter as a fraction of the total (empty → {})."""
+        total = self.total()
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in self._counts.items()}
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:
+        return f"Counter({self._counts!r})"
+
+
+class LatencyRecorder:
+    """Streaming latency statistics with reservoir-sampled percentiles.
+
+    The mean/min/max/count are exact; percentiles are computed over a
+    uniform reservoir of ``reservoir_size`` samples (deterministic given the
+    seed), which is accurate to well under a percentile point at the sample
+    counts our experiments produce.
+    """
+
+    def __init__(self, reservoir_size: int = 4096, seed: int = 0) -> None:
+        if reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._reservoir: List[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        self._count += 1
+        self._sum += value
+        self._sum_sq += value * value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self._count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self._sum_sq / self._count - mean * mean)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0 <= p <= 100) from the reservoir."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"p must be in [0, 100], got {p}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = p / 100.0 * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyRecorder(count={self._count}, mean={self.mean:.4f}, "
+            f"max={self.maximum:.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One window of a metric series."""
+
+    x: float
+    mean: float
+    count: int
+
+
+class SeriesRecorder:
+    """Windowed averages: mean of ``value`` per fixed-width window of ``x``.
+
+    Figures 8-10 and 14 plot average latency against cumulative operation
+    count; feeding ``(operation_index, latency)`` pairs here with a window
+    width of e.g. 10^5 yields exactly those series.
+    """
+
+    def __init__(self, window_width: float) -> None:
+        if window_width <= 0:
+            raise ValueError(f"window_width must be positive, got {window_width}")
+        self._width = window_width
+        self._points: List[SeriesPoint] = []
+        self._window_start = 0.0
+        self._window_sum = 0.0
+        self._window_count = 0
+
+    def record(self, x: float, value: float) -> None:
+        if x < self._window_start:
+            raise ValueError(
+                f"x must be non-decreasing: {x} < window start {self._window_start}"
+            )
+        while x >= self._window_start + self._width:
+            self._flush_window()
+        self._window_sum += value
+        self._window_count += 1
+
+    def _flush_window(self) -> None:
+        if self._window_count > 0:
+            self._points.append(
+                SeriesPoint(
+                    x=self._window_start + self._width / 2.0,
+                    mean=self._window_sum / self._window_count,
+                    count=self._window_count,
+                )
+            )
+        self._window_start += self._width
+        self._window_sum = 0.0
+        self._window_count = 0
+
+    def finish(self) -> List[SeriesPoint]:
+        """Flush the trailing partial window and return all points."""
+        if self._window_count > 0:
+            self._flush_window()
+        return list(self._points)
+
+    def points(self) -> List[SeriesPoint]:
+        """Points of completed windows (does not flush the current one)."""
+        return list(self._points)

@@ -1,0 +1,44 @@
+"""Trace substrate: records, synthetic workload generators and scaling.
+
+The paper drives its evaluation with three real traces — HP, INS and RES —
+that are not redistributable.  Per DESIGN.md §2 we substitute synthetic
+generators that reproduce the published *shape* of each workload:
+
+- the metadata operation mix (open/close/stat ratios from Tables 3-4),
+- Zipfian file popularity plus open→close temporal pairing,
+- the per-trace host / user / file population parameters,
+
+and we implement the paper's own *Trace Intensifying Factor* (TIF) scale-up:
+a trace is decomposed into subtraces that are forced onto disjoint users,
+hosts and directory subtrees, then replayed concurrently (Section 4).
+"""
+
+from repro.traces.records import MetadataOp, TraceRecord
+from repro.traces.profiles import (
+    TraceProfile,
+    HP_PROFILE,
+    INS_PROFILE,
+    RES_PROFILE,
+    PROFILES,
+)
+from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.traces.scaling import intensify
+from repro.traces.workloads import WorkloadStats, compute_stats
+from repro.traces.io import read_trace, write_trace
+
+__all__ = [
+    "MetadataOp",
+    "TraceRecord",
+    "TraceProfile",
+    "HP_PROFILE",
+    "INS_PROFILE",
+    "RES_PROFILE",
+    "PROFILES",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "intensify",
+    "WorkloadStats",
+    "compute_stats",
+    "read_trace",
+    "write_trace",
+]

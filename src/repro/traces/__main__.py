@@ -1,0 +1,103 @@
+"""CLI for trace generation, intensification and inspection.
+
+Usage::
+
+    python -m repro.traces generate --profile HP --files 2000 --ops 10000 \\
+        --out hp.trace
+    python -m repro.traces intensify --tif 4 --in hp.trace --out hp_x4.trace
+    python -m repro.traces stats --in hp_x4.trace
+
+Trace files use the tab-separated format of :mod:`repro.traces.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.traces.io import read_trace, write_trace
+from repro.traces.profiles import PROFILES
+from repro.traces.records import MetadataOp
+from repro.traces.scaling import intensify
+from repro.traces.synthetic import generate_trace
+from repro.traces.workloads import compute_stats
+
+
+def _cmd_generate(args) -> int:
+    profile = PROFILES[args.profile]
+    records = generate_trace(
+        profile, args.files, args.ops, seed=args.seed,
+        ops_per_second=args.rate,
+    )
+    written = write_trace(records, args.out)
+    print(f"wrote {written} {args.profile}-shaped records to {args.out}")
+    return 0
+
+
+def _cmd_intensify(args) -> int:
+    records = read_trace(getattr(args, "in"))
+    scaled = intensify(records, args.tif)
+    written = write_trace(scaled, args.out)
+    print(
+        f"intensified {len(records)} records by TIF={args.tif} -> "
+        f"{written} records in {args.out}"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    records = read_trace(getattr(args, "in"))
+    stats = compute_stats(records)
+    print(f"trace: {getattr(args, 'in')}")
+    print(f"  total ops:    {stats.total_ops}")
+    for op in MetadataOp:
+        count = stats.count(op)
+        if count:
+            print(
+                f"  {op.value:<8}      {count:>8}  "
+                f"({stats.op_fraction(op) * 100:.1f}%)"
+            )
+    print(f"  users:        {stats.num_users}")
+    print(f"  hosts:        {stats.num_hosts}")
+    print(f"  active files: {stats.num_active_files}")
+    print(f"  subtraces:    {stats.num_subtraces}")
+    print(f"  duration:     {stats.duration:.1f}s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traces", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic trace"
+    )
+    generate.add_argument(
+        "--profile", choices=sorted(PROFILES), default="HP"
+    )
+    generate.add_argument("--files", type=int, default=2_000)
+    generate.add_argument("--ops", type=int, default=10_000)
+    generate.add_argument("--rate", type=float, default=1_000.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    intensify_cmd = subparsers.add_parser(
+        "intensify", help="TIF scale-up of an existing trace"
+    )
+    intensify_cmd.add_argument("--tif", type=int, required=True)
+    intensify_cmd.add_argument("--in", required=True)
+    intensify_cmd.add_argument("--out", required=True)
+    intensify_cmd.set_defaults(func=_cmd_intensify)
+
+    stats_cmd = subparsers.add_parser("stats", help="summarize a trace file")
+    stats_cmd.add_argument("--in", required=True)
+    stats_cmd.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

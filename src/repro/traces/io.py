@@ -1,0 +1,74 @@
+"""Trace serialization: a simple tab-separated on-disk format.
+
+Format (one record per line, UTF-8)::
+
+    timestamp <TAB> op <TAB> path <TAB> uid <TAB> host <TAB> subtrace [<TAB> new_path]
+
+Lines starting with ``#`` are comments.  The format is intentionally trivial
+so traces can be produced or inspected with standard Unix tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.traces.records import MetadataOp, TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def write_trace(records: Iterable[TraceRecord], path: PathLike) -> int:
+    """Write ``records`` to ``path``; return the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro trace v1\n")
+        for record in records:
+            fields = [
+                f"{record.timestamp:.6f}",
+                record.op.value,
+                record.path,
+                str(record.uid),
+                str(record.host),
+                str(record.subtrace),
+            ]
+            if record.new_path:
+                fields.append(record.new_path)
+            handle.write("\t".join(fields) + "\n")
+            count += 1
+    return count
+
+
+def _parse_line(line: str, lineno: int) -> TraceRecord:
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) not in (6, 7):
+        raise ValueError(
+            f"line {lineno}: expected 6 or 7 tab-separated fields, got {len(fields)}"
+        )
+    try:
+        op = MetadataOp(fields[1])
+    except ValueError:
+        raise ValueError(f"line {lineno}: unknown op {fields[1]!r}") from None
+    return TraceRecord(
+        timestamp=float(fields[0]),
+        op=op,
+        path=fields[2],
+        uid=int(fields[3]),
+        host=int(fields[4]),
+        subtrace=int(fields[5]),
+        new_path=fields[6] if len(fields) == 7 else "",
+    )
+
+
+def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from a trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip() or line.startswith("#"):
+                continue
+            yield _parse_line(line, lineno)
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    """Load an entire trace file into memory."""
+    return list(iter_trace(path))

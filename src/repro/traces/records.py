@@ -1,0 +1,89 @@
+"""Trace records: one metadata operation against one pathname.
+
+The paper filters file-system traces down to metadata operations (read/write
+data traffic is discarded, Section 4).  :class:`TraceRecord` is the unit the
+simulator replays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class MetadataOp(enum.Enum):
+    """Metadata operation kinds present in the replayed traces."""
+
+    OPEN = "open"
+    CLOSE = "close"
+    STAT = "stat"
+    CREATE = "create"
+    UNLINK = "unlink"
+    RENAME = "rename"
+
+    @property
+    def is_lookup(self) -> bool:
+        """True for operations that require locating the home MDS."""
+        return self in (MetadataOp.OPEN, MetadataOp.STAT, MetadataOp.CLOSE)
+
+    @property
+    def mutates_namespace(self) -> bool:
+        return self in (MetadataOp.CREATE, MetadataOp.UNLINK, MetadataOp.RENAME)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One metadata operation.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since trace start.
+    op:
+        Operation kind.
+    path:
+        Target pathname (for RENAME, the source path).
+    uid:
+        User performing the operation.
+    host:
+        Originating client host ID.
+    subtrace:
+        Subtrace index assigned by TIF intensification (0 for the base trace).
+    new_path:
+        Destination path for RENAME; empty otherwise.
+    """
+
+    timestamp: float
+    op: MetadataOp
+    path: str
+    uid: int = 0
+    host: int = 0
+    subtrace: int = 0
+    new_path: str = ""
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must be absolute, got {self.path!r}")
+        if self.op is MetadataOp.RENAME and not self.new_path:
+            raise ValueError("RENAME records require new_path")
+        if self.op is not MetadataOp.RENAME and self.new_path:
+            raise ValueError("only RENAME records may carry new_path")
+
+    def relocated(self, subtrace: int, path_prefix: str, uid_offset: int,
+                  host_offset: int) -> "TraceRecord":
+        """Return a copy moved onto a disjoint subtrace (TIF scale-up).
+
+        The paper appends a subtrace number to group ID, user ID and working
+        directory of every record; we prefix the path and offset the
+        user/host IDs, preserving the timestamp.
+        """
+        return replace(
+            self,
+            subtrace=subtrace,
+            path=path_prefix + self.path,
+            new_path=(path_prefix + self.new_path) if self.new_path else "",
+            uid=self.uid + uid_offset,
+            host=self.host + host_offset,
+        )

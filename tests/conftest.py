@@ -1,0 +1,38 @@
+"""Shared fixtures: small, fast cluster configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+
+
+@pytest.fixture
+def small_config() -> GHBAConfig:
+    """A configuration sized for fast tests."""
+    return GHBAConfig(
+        max_group_size=4,
+        bits_per_file=16.0,
+        expected_files_per_mds=512,
+        lru_capacity=128,
+        lru_filter_bits=1 << 10,
+        lru_num_hashes=4,
+        update_threshold_bits=32,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def small_cluster(small_config: GHBAConfig) -> GHBACluster:
+    """A 10-server cluster in groups of <= 4, unpopulated."""
+    return GHBACluster(10, small_config, seed=7)
+
+
+@pytest.fixture
+def populated_cluster(small_cluster: GHBACluster):
+    """A populated, synchronized cluster plus its placement map."""
+    paths = [f"/fs/dir{i % 6}/file{i}" for i in range(600)]
+    placement = small_cluster.populate(paths)
+    small_cluster.synchronize_replicas(force=True)
+    return small_cluster, placement

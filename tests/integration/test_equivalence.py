@@ -1,0 +1,81 @@
+"""Cross-implementation equivalence: simulator vs. prototype.
+
+The trace-driven simulator (`repro.core`) and the message-passing prototype
+(`repro.prototype`) implement the same scheme; given identical populated
+state they must agree on every routing decision.  This pins down protocol
+drift between the two implementations.
+"""
+
+import pytest
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.core.query import QueryLevel
+from repro.prototype.cluster import PrototypeCluster
+
+
+@pytest.fixture
+def config():
+    return GHBAConfig(
+        max_group_size=4,
+        expected_files_per_mds=256,
+        lru_capacity=64,
+        lru_filter_bits=512,
+        seed=33,
+    )
+
+
+class TestRoutingEquivalence:
+    def test_same_homes_resolved(self, config):
+        """Both implementations find the same (true) home for every path."""
+        paths = [f"/eq/d{i % 5}/f{i}" for i in range(300)]
+        sim = GHBACluster(10, config, seed=33)
+        sim_placement = sim.populate(paths, policy="round_robin")
+        sim.synchronize_replicas(force=True)
+        with PrototypeCluster(10, config, scheme="ghba", seed=33) as proto:
+            proto_placement = proto.populate(paths, policy="round_robin")
+            # Round-robin placement from the same sorted server ids must
+            # coincide exactly.
+            assert proto_placement == sim_placement
+            for path in paths[::13]:
+                sim_result = sim.query(path, origin_id=0)
+                proto_result = proto.lookup(path, origin_id=0)
+                assert sim_result.home_id == proto_result.home_id
+
+    def test_same_level_progression_for_cold_then_hot(self, config):
+        """Both serve a repeat query from L1 after learning it."""
+        paths = [f"/eq/f{i}" for i in range(100)]
+        sim = GHBACluster(8, config, seed=7)
+        sim.populate(paths, policy="round_robin")
+        sim.synchronize_replicas(force=True)
+        with PrototypeCluster(8, config, scheme="ghba", seed=7) as proto:
+            proto.populate(paths, policy="round_robin")
+            path = paths[0]
+            sim.query(path, origin_id=1)
+            proto.lookup(path, origin_id=1)
+            proto.quiesce()
+            assert sim.query(path, origin_id=1).level is QueryLevel.L1
+            assert proto.lookup(path, origin_id=1).level is QueryLevel.L1
+
+    def test_same_negative_verdicts(self, config):
+        sim = GHBACluster(8, config, seed=7)
+        sim.populate([f"/eq/f{i}" for i in range(50)], policy="round_robin")
+        sim.synchronize_replicas(force=True)
+        with PrototypeCluster(8, config, scheme="ghba", seed=7) as proto:
+            proto.populate([f"/eq/f{i}" for i in range(50)], policy="round_robin")
+            for ghost in ("/ghost/a", "/ghost/b"):
+                assert not sim.query(ghost, origin_id=2).found
+                assert not proto.lookup(ghost, origin_id=2).found
+
+    def test_join_then_equivalent_routing(self, config):
+        paths = [f"/eq/f{i}" for i in range(120)]
+        sim = GHBACluster(9, config, seed=5)
+        placement = sim.populate(paths, policy="round_robin")
+        sim.synchronize_replicas(force=True)
+        sim.add_server()
+        with PrototypeCluster(9, config, scheme="ghba", seed=5) as proto:
+            proto.populate(paths, policy="round_robin")
+            proto.add_node()
+            for path in paths[::17]:
+                assert sim.query(path).home_id == placement[path]
+                assert proto.lookup(path).home_id == placement[path]

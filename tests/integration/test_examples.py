@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs cleanly.
+
+Examples are the repo's front door; they must never rot.  Each runs in a
+subprocess (argument-reduced where the script supports it) and must exit 0
+with its signature output present.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "invariants hold" in out
+        assert "expected L1" in out
+
+    def test_trace_replay_reduced(self):
+        out = run_example(
+            "trace_replay.py", "--ops", "4000", "--files", "1000", "--tif", "2"
+        )
+        assert "G-HBA:" in out and "HBA:" in out
+        assert "mean latency" in out
+
+    def test_cluster_reconfiguration(self):
+        out = run_example("cluster_reconfiguration.py")
+        assert "graceful degradation" in out
+        assert "SPLIT" in out or "join" in out
+        assert "MERGE" in out or "leave" in out
+
+    def test_prototype_demo(self):
+        out = run_example("prototype_demo.py")
+        assert "misroutes:      0" in out
+        assert "adding 3 nodes live" in out
+
+    def test_optimal_group_size(self):
+        out = run_example("optimal_group_size.py", "--servers", "30")
+        assert "optimal M = 6" in out
+        assert "Gamma" in out
+
+    def test_operational_tour(self):
+        out = run_example("operational_tour.py")
+        assert "health summary" in out
+        assert "after recovery" in out and "found=True" in out
+        assert "restored cluster resolves" in out

@@ -1,0 +1,68 @@
+"""Integration: the full trace pipeline through files.
+
+generate (CLI) → intensify (CLI) → load from disk → replay against a live
+cluster — the workflow a user following the README would run.
+"""
+
+import pytest
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.traces.__main__ import main as traces_main
+from repro.traces.io import read_trace
+from repro.traces.records import MetadataOp
+from repro.traces.workloads import compute_stats
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    base = tmp_path / "base.trace"
+    scaled = tmp_path / "scaled.trace"
+    assert traces_main(
+        [
+            "generate", "--profile", "INS", "--files", "300",
+            "--ops", "1500", "--seed", "4", "--out", str(base),
+        ]
+    ) == 0
+    assert traces_main(
+        ["intensify", "--tif", "2", "--in", str(base), "--out", str(scaled)]
+    ) == 0
+    return scaled
+
+
+class TestFileDrivenReplay:
+    def test_replay_from_disk(self, trace_file):
+        records = read_trace(trace_file)
+        stats = compute_stats(records)
+        assert stats.total_ops == 3_000
+        assert stats.num_subtraces == 2
+
+        config = GHBAConfig(
+            max_group_size=4,
+            expected_files_per_mds=256,
+            lru_capacity=128,
+            lru_filter_bits=1 << 10,
+            seed=4,
+        )
+        cluster = GHBACluster(8, config, seed=4)
+        placement = cluster.populate(sorted(stats.files))
+        cluster.synchronize_replicas(force=True)
+        resolved = 0
+        for record in records:
+            if record.op is MetadataOp.RENAME:
+                continue
+            result = cluster.query(record.path)
+            assert result.found, record.path
+            assert result.home_id == placement[record.path]
+            resolved += 1
+        assert resolved > 2_000
+        # Locality carried through the file round trip: L1 dominates.
+        fractions = cluster.level_fractions()
+        assert fractions.get("L1", 0.0) > 0.3
+
+    def test_subtraces_replay_onto_disjoint_namespaces(self, trace_file):
+        records = read_trace(trace_file)
+        base_paths = {r.path for r in records if r.subtrace == 0}
+        scaled_paths = {r.path for r in records if r.subtrace == 1}
+        assert base_paths and scaled_paths
+        assert not (base_paths & scaled_paths)

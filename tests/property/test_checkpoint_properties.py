@@ -1,0 +1,68 @@
+"""Property-based tests: checkpoint round trips over random clusters."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import checkpoint
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+
+
+class TestCheckpointRoundTrip:
+    @given(
+        num_servers=st.integers(min_value=1, max_value=10),
+        max_group=st.integers(min_value=1, max_value=4),
+        num_files=st.integers(min_value=0, max_value=60),
+        reconfigs=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_snapshot_restore_preserves_everything(
+        self, num_servers, max_group, num_files, reconfigs, seed
+    ):
+        config = GHBAConfig(
+            max_group_size=max_group,
+            expected_files_per_mds=128,
+            lru_capacity=16,
+            lru_filter_bits=128,
+            seed=seed,
+        )
+        cluster = GHBACluster(num_servers, config, seed=seed)
+        placement = cluster.populate(
+            f"/ckpt/f{i}" for i in range(num_files)
+        )
+        cluster.synchronize_replicas(force=True)
+        for _ in range(reconfigs):
+            cluster.add_server()
+        restored = checkpoint.restore(checkpoint.snapshot(cluster))
+        # Structure is identical...
+        assert restored.num_servers == cluster.num_servers
+        assert restored.num_groups == cluster.num_groups
+        assert restored.replicas_per_server() == (
+            cluster.replicas_per_server()
+        )
+        # ...and every routing decision matches the original placement.
+        for path, home in placement.items():
+            result = restored.query(path)
+            assert result.found
+            assert result.home_id == home
+
+    @given(
+        num_servers=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_double_round_trip_is_stable(self, num_servers, seed):
+        config = GHBAConfig(
+            max_group_size=3,
+            expected_files_per_mds=64,
+            lru_capacity=8,
+            lru_filter_bits=64,
+            seed=seed,
+        )
+        cluster = GHBACluster(num_servers, config, seed=seed)
+        cluster.populate(f"/ckpt/f{i}" for i in range(20))
+        cluster.synchronize_replicas(force=True)
+        once = checkpoint.snapshot(cluster)
+        twice = checkpoint.snapshot(checkpoint.restore(once))
+        assert once == twice

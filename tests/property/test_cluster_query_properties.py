@@ -1,0 +1,100 @@
+"""Property-based tests: query correctness over random cluster shapes.
+
+For any (N, M, population) the cluster must route every known path to its
+true home and return definite negatives for unknown paths — the scheme's
+end-to-end contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.core.query import QueryLevel
+
+
+def build_cluster(num_servers, max_group, seed):
+    config = GHBAConfig(
+        max_group_size=max_group,
+        expected_files_per_mds=128,
+        lru_capacity=32,
+        lru_filter_bits=256,
+        seed=seed,
+    )
+    return GHBACluster(num_servers, config, seed=seed)
+
+
+class TestQueryContract:
+    @given(
+        num_servers=st.integers(min_value=1, max_value=14),
+        max_group=st.integers(min_value=1, max_value=6),
+        num_files=st.integers(min_value=0, max_value=80),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_known_path_routes_to_true_home(
+        self, num_servers, max_group, num_files, seed
+    ):
+        cluster = build_cluster(num_servers, max_group, seed)
+        placement = cluster.populate(
+            f"/prop/f{i}" for i in range(num_files)
+        )
+        cluster.synchronize_replicas(force=True)
+        cluster.check_invariants()
+        for path, home in placement.items():
+            result = cluster.query(path)
+            assert result.found
+            assert result.home_id == home
+
+    @given(
+        num_servers=st.integers(min_value=1, max_value=12),
+        max_group=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unknown_paths_are_definite_negatives(
+        self, num_servers, max_group, seed
+    ):
+        cluster = build_cluster(num_servers, max_group, seed)
+        cluster.populate(f"/prop/f{i}" for i in range(40))
+        cluster.synchronize_replicas(force=True)
+        for i in range(10):
+            result = cluster.query(f"/ghost/{seed}/{i}")
+            assert not result.found
+            assert result.level is QueryLevel.NEGATIVE
+
+    @given(
+        num_servers=st.integers(min_value=2, max_value=12),
+        max_group=st.integers(min_value=2, max_value=5),
+        origin_index=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_answer_independent_of_origin(
+        self, num_servers, max_group, origin_index, seed
+    ):
+        """Any entry MDS yields the same home — the decentralization claim."""
+        cluster = build_cluster(num_servers, max_group, seed)
+        placement = cluster.populate(f"/prop/f{i}" for i in range(30))
+        cluster.synchronize_replicas(force=True)
+        path, home = sorted(placement.items())[0]
+        origin = cluster.server_ids()[origin_index % num_servers]
+        result = cluster.query(path, origin_id=origin)
+        assert result.home_id == home
+
+    @given(
+        num_servers=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_latency_and_messages_non_negative_and_bounded(
+        self, num_servers, seed
+    ):
+        cluster = build_cluster(num_servers, 4, seed)
+        placement = cluster.populate(f"/prop/f{i}" for i in range(20))
+        cluster.synchronize_replicas(force=True)
+        for path in list(placement)[:5]:
+            result = cluster.query(path)
+            assert result.latency_ms >= 0
+            # Worst case: L1 forward + L2 forward + L3 + L4 + final forward.
+            assert result.messages <= 4 * num_servers + 8

@@ -1,0 +1,153 @@
+"""Property-based tests for the store, memory model and event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadata.attributes import FileMetadata
+from repro.metadata.store import MetadataStore
+from repro.sim.engine import Simulator
+from repro.sim.memory import MemoryModel
+
+
+class TestStoreModelConformance:
+    """The tiered store must behave exactly like a dict, regardless of the
+    memory budget — tiering may move records, never lose or corrupt them."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "remove"]),
+                st.integers(min_value=0, max_value=12),
+            ),
+            max_size=60,
+        ),
+        budget=st.one_of(st.none(), st.integers(min_value=0, max_value=2_000)),
+    )
+    @settings(max_examples=60)
+    def test_matches_dict_model(self, ops, budget):
+        store = MetadataStore(memory_budget_bytes=budget)
+        model = {}
+        for op, key_index in ops:
+            path = f"/store/k{key_index}"
+            if op == "put":
+                meta = FileMetadata(path=path, inode=key_index)
+                store.put(meta)
+                model[path] = meta
+            elif op == "get":
+                assert store.get(path) == model.get(path)
+            else:
+                assert store.remove(path, missing_ok=True) == (
+                    model.pop(path, None) is not None
+                )
+            assert len(store) == len(model)
+        for path, meta in model.items():
+            assert store.get(path) == meta
+
+    @given(budget=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30)
+    def test_memory_tier_never_exceeds_budget(self, budget):
+        store = MetadataStore(memory_budget_bytes=budget)
+        for i in range(30):
+            store.put(FileMetadata(path=f"/b/k{i}", inode=i))
+        assert store.memory_bytes <= max(
+            budget, FileMetadata(path="/b/k0", inode=0).size_bytes()
+        )
+
+
+class TestMemoryModelProperties:
+    @given(
+        consumers=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),  # bytes
+                st.integers(min_value=0, max_value=3),       # priority
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        budget=st.one_of(st.none(), st.integers(min_value=0, max_value=30_000)),
+        mode=st.sampled_from(["priority", "proportional"]),
+    )
+    @settings(max_examples=80)
+    def test_residency_invariants(self, consumers, budget, mode):
+        model = MemoryModel(budget_bytes=budget, mode=mode)
+        for index, (size, priority) in enumerate(consumers):
+            model.set_consumer(f"c{index}", size, priority)
+        resident_bytes = 0.0
+        for name, size, fraction in model.snapshot():
+            assert 0.0 <= fraction <= 1.0
+            resident_bytes += size * fraction
+        if budget is not None:
+            assert resident_bytes <= budget + 1e-6
+        else:
+            assert resident_bytes == model.total_bytes
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=1_000), min_size=2, max_size=6
+        ),
+        budget=st.integers(min_value=0, max_value=3_000),
+    )
+    @settings(max_examples=60)
+    def test_priority_mode_orders_residency(self, sizes, budget):
+        """A higher-priority (lower value) consumer is never less resident
+        than a lower-priority one."""
+        model = MemoryModel(budget_bytes=budget, mode="priority")
+        for index, size in enumerate(sizes):
+            model.set_consumer(f"c{index}", size, priority=index)
+        fractions = [model.resident_fraction(f"c{i}") for i in range(len(sizes))]
+        for earlier, later in zip(fractions, fractions[1:]):
+            assert earlier >= later - 1e-9
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_execution_order_is_sorted_by_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            max_size=25,
+        ),
+        cutoff=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_run_until_partitions_events_exactly(self, delays, cutoff):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_until(cutoff)
+        assert sorted(fired) == sorted(d for d in delays if d <= cutoff)
+        assert sim.pending == sum(1 for d in delays if d > cutoff)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_two_runs_identical(self, delays):
+        """Determinism: two engines fed the same schedule fire identically."""
+        logs = []
+        for _ in range(2):
+            sim = Simulator()
+            log = []
+            for index, delay in enumerate(delays):
+                sim.schedule(delay, lambda i=index: log.append((sim.now, i)))
+            sim.run()
+            logs.append(log)
+        assert logs[0] == logs[1]

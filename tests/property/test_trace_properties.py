@@ -1,0 +1,89 @@
+"""Property-based tests for trace generation and TIF intensification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.profiles import PROFILES
+from repro.traces.records import MetadataOp
+from repro.traces.scaling import intensify
+from repro.traces.synthetic import generate_trace
+from repro.traces.workloads import compute_stats
+
+profile_names = st.sampled_from(sorted(PROFILES))
+
+
+class TestGeneratorProperties:
+    @given(
+        profile_name=profile_names,
+        num_files=st.integers(min_value=10, max_value=300),
+        num_ops=st.integers(min_value=0, max_value=400),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_op_count_and_monotone_time(
+        self, profile_name, num_files, num_ops, seed
+    ):
+        records = generate_trace(
+            PROFILES[profile_name], num_files, num_ops, seed=seed
+        )
+        assert len(records) == num_ops
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    @given(
+        profile_name=profile_names,
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_closes_never_precede_their_open(self, profile_name, seed):
+        records = generate_trace(PROFILES[profile_name], 80, 300, seed=seed)
+        open_balance = {}
+        for record in records:
+            if record.op is MetadataOp.OPEN:
+                open_balance[record.path] = open_balance.get(record.path, 0) + 1
+            elif record.op is MetadataOp.CLOSE:
+                assert open_balance.get(record.path, 0) > 0
+                open_balance[record.path] -= 1
+
+
+class TestIntensifyProperties:
+    @given(
+        tif=st.integers(min_value=1, max_value=6),
+        num_ops=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_histogram_scales_exactly(self, tif, num_ops, seed):
+        """Paper Section 4: the op histogram is preserved, intensity x TIF."""
+        base = generate_trace(PROFILES["HP"], 50, num_ops, seed=seed)
+        scaled = intensify(base, tif)
+        base_stats = compute_stats(base)
+        scaled_stats = compute_stats(scaled)
+        for op in MetadataOp:
+            assert scaled_stats.count(op) == tif * base_stats.count(op)
+        assert scaled_stats.duration == base_stats.duration
+
+    @given(tif=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_subtrace_namespaces_pairwise_disjoint(self, tif):
+        base = generate_trace(PROFILES["INS"], 50, 150, seed=3)
+        scaled = intensify(base, tif)
+        namespaces = {}
+        for record in scaled:
+            namespaces.setdefault(record.subtrace, set()).add(record.path)
+        subtraces = sorted(namespaces)
+        assert subtraces == list(range(tif))
+        for i in subtraces:
+            for j in subtraces:
+                if i < j:
+                    assert not (namespaces[i] & namespaces[j])
+
+    @given(
+        tif=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_output_sorted_by_timestamp(self, tif, seed):
+        base = generate_trace(PROFILES["RES"], 40, 120, seed=seed)
+        times = [r.timestamp for r in intensify(base, tif)]
+        assert times == sorted(times)

@@ -1,0 +1,115 @@
+"""Unit tests for the false-positive mathematics (paper Equation 1)."""
+
+import math
+
+import pytest
+
+from repro.bloom.analysis import (
+    OPTIMAL_BASE,
+    expected_fill_ratio,
+    false_positive_rate,
+    optimal_false_positive_rate,
+    optimal_num_hashes,
+    required_bits,
+    segment_array_false_positive_rate,
+    unique_hit_probability,
+)
+
+
+class TestOptimalK:
+    def test_known_values(self):
+        # k = (m/n) ln 2: 8 bits -> 5.5 -> 6; 16 bits -> 11.09 -> 11
+        assert optimal_num_hashes(8) == 6
+        assert optimal_num_hashes(16) == 11
+
+    def test_at_least_one(self):
+        assert optimal_num_hashes(0.5) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(0)
+
+
+class TestFalsePositiveRate:
+    def test_empty_filter_never_false_positive(self):
+        assert false_positive_rate(1024, 0, 7) == 0.0
+
+    def test_matches_formula(self):
+        m, n, k = 1024, 100, 7
+        expected = (1 - math.exp(-k * n / m)) ** k
+        assert false_positive_rate(m, n, k) == pytest.approx(expected)
+
+    def test_monotone_in_items(self):
+        rates = [false_positive_rate(1024, n, 7) for n in (10, 50, 100, 500)]
+        assert rates == sorted(rates)
+
+    def test_optimal_rate_is_0_6185_power(self):
+        # The paper: f0 = (0.6185)^(m/n).
+        assert OPTIMAL_BASE == pytest.approx(0.6185, abs=1e-4)
+        assert optimal_false_positive_rate(8) == pytest.approx(0.6185**8, rel=1e-3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(0, 1, 1)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, -1, 1)
+        with pytest.raises(ValueError):
+            false_positive_rate(10, 1, 0)
+
+
+class TestEquation1:
+    def test_zero_theta_is_zero(self):
+        assert segment_array_false_positive_rate(0, 8) == 0.0
+
+    def test_matches_paper_formula(self):
+        theta, ratio = 5, 8.0
+        f0 = 0.6185**ratio
+        expected = theta * f0 * (1 - f0) ** (theta - 1)
+        assert segment_array_false_positive_rate(theta, ratio) == pytest.approx(
+            expected, rel=1e-3
+        )
+
+    def test_higher_bit_ratio_reduces_false_rate(self):
+        low = segment_array_false_positive_rate(10, 8)
+        high = segment_array_false_positive_rate(10, 16)
+        assert high < low
+
+    def test_rejects_negative_theta(self):
+        with pytest.raises(ValueError):
+            segment_array_false_positive_rate(-1, 8)
+
+
+class TestSizingHelpers:
+    def test_expected_fill_ratio_bounds(self):
+        ratio = expected_fill_ratio(1024, 100, 7)
+        assert 0.0 < ratio < 1.0
+
+    def test_required_bits_achieves_target(self):
+        n, target = 1000, 0.01
+        m = required_bits(n, target)
+        k = optimal_num_hashes(m / n)
+        assert false_positive_rate(m, n, k) <= target * 1.3
+
+    def test_required_bits_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            required_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            required_bits(10, 1.0)
+
+
+class TestUniqueHitProbability:
+    def test_owner_present_all_silent(self):
+        assert unique_hit_probability(1, True, 0.5) == 1.0
+        assert unique_hit_probability(3, True, 0.0) == 1.0
+
+    def test_owner_absent_zero_filters(self):
+        assert unique_hit_probability(0, False, 0.1) == 0.0
+
+    def test_owner_absent_matches_binomial(self):
+        n, p = 4, 0.1
+        expected = n * p * (1 - p) ** (n - 1)
+        assert unique_hit_probability(n, False, p) == pytest.approx(expected)
+
+    def test_rejects_bad_fpr(self):
+        with pytest.raises(ValueError):
+            unique_hit_probability(3, True, 1.5)

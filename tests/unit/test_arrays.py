@@ -1,0 +1,233 @@
+"""Unit tests for Bloom filter arrays (plain, LRU and IDBFA)."""
+
+import pytest
+
+from repro.bloom.arrays import (
+    ArrayLookup,
+    BloomFilterArray,
+    IDBloomFilterArray,
+    LRUBloomFilterArray,
+)
+from repro.bloom.bloom_filter import BloomFilter
+
+
+def make_filter(items, seed=0):
+    bloom = BloomFilter(2048, 6, seed)
+    bloom.update(items)
+    return bloom
+
+
+class TestArrayLookup:
+    def test_unique(self):
+        lookup = ArrayLookup(hits=(3,), probes=5)
+        assert lookup.is_unique and not lookup.is_miss
+        assert lookup.unique_hit == 3
+
+    def test_zero_and_multiple_are_misses(self):
+        assert ArrayLookup(hits=(), probes=5).is_miss
+        assert ArrayLookup(hits=(1, 2), probes=5).is_miss
+
+    def test_unique_hit_raises_on_miss(self):
+        with pytest.raises(ValueError):
+            ArrayLookup(hits=(), probes=1).unique_hit
+
+
+class TestBloomFilterArray:
+    def test_unique_hit_names_home(self):
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter(["/f1"]))
+        array.add_replica(2, make_filter(["/f2"]))
+        lookup = array.query("/f1")
+        assert lookup.is_unique and lookup.unique_hit == 1
+        assert lookup.probes == 2
+
+    def test_zero_hits_for_absent(self):
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter(["/f1"]))
+        assert array.query("/nope").hits == ()
+
+    def test_multiple_hits_when_two_filters_contain(self):
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter(["/shared"]))
+        array.add_replica(2, make_filter(["/shared"]))
+        lookup = array.query("/shared")
+        assert set(lookup.hits) == {1, 2}
+        assert lookup.is_miss  # the scheme treats multi-hit as a miss
+
+    def test_duplicate_add_rejected(self):
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter([]))
+        with pytest.raises(ValueError):
+            array.add_replica(1, make_filter([]))
+
+    def test_replace_and_remove(self):
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter(["/old"]))
+        array.replace_replica(1, make_filter(["/new"]))
+        assert array.query("/new").is_unique
+        removed = array.remove_replica(1)
+        assert "/new" in removed
+        assert 1 not in array
+
+    def test_replace_missing_raises(self):
+        with pytest.raises(KeyError):
+            BloomFilterArray().replace_replica(9, make_filter([]))
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            BloomFilterArray().remove_replica(9)
+
+    def test_mixed_geometry_filters_still_probed(self):
+        """Filters with different geometry coexist (index cache per family)."""
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter(["/f1"], seed=0))
+        other = BloomFilter(512, 3, seed=5)
+        other.add("/f2")
+        array.add_replica(2, other)
+        assert array.query("/f1").unique_hit == 1
+        assert array.query("/f2").unique_hit == 2
+
+    def test_size_bytes_sums_replicas(self):
+        array = BloomFilterArray()
+        array.add_replica(1, make_filter([]))
+        array.add_replica(2, make_filter([]))
+        assert array.size_bytes() == 2 * make_filter([]).size_bytes()
+
+
+class TestLRUArray:
+    def make(self, capacity=4):
+        return LRUBloomFilterArray(capacity, filter_bits=1024, num_hashes=4)
+
+    def test_record_then_unique_hit(self):
+        lru = self.make()
+        lru.record("/hot", home_id=3)
+        lookup = lru.query("/hot")
+        assert lookup.is_unique and lookup.unique_hit == 3
+
+    def test_capacity_eviction_removes_lru_entry(self):
+        lru = self.make(capacity=2)
+        lru.record("/a", 1)
+        lru.record("/b", 1)
+        lru.record("/c", 1)  # evicts /a
+        assert lru.peek("/a") is None
+        assert not lru.query("/a").is_unique
+        assert lru.query("/b").is_unique
+
+    def test_recency_refresh_on_record(self):
+        lru = self.make(capacity=2)
+        lru.record("/a", 1)
+        lru.record("/b", 1)
+        lru.record("/a", 1)  # refresh /a
+        lru.record("/c", 1)  # evicts /b, not /a
+        assert lru.peek("/a") == 1
+        assert lru.peek("/b") is None
+
+    def test_home_change_replaces_mapping(self):
+        lru = self.make()
+        lru.record("/m", 1)
+        lru.record("/m", 2)
+        assert lru.peek("/m") == 2
+        assert lru.query("/m").hits == (2,)
+
+    def test_invalidate(self):
+        lru = self.make()
+        lru.record("/x", 1)
+        assert lru.invalidate("/x") is True
+        assert lru.peek("/x") is None
+        assert lru.invalidate("/x") is False
+
+    def test_invalidate_home_drops_all_entries_for_server(self):
+        lru = self.make(capacity=10)
+        lru.record("/a", 1)
+        lru.record("/b", 1)
+        lru.record("/c", 2)
+        assert lru.invalidate_home(1) == 2
+        assert lru.peek("/a") is None and lru.peek("/c") == 2
+
+    def test_hit_rate_accounting(self):
+        lru = self.make()
+        lru.record("/a", 1)
+        lru.query("/a")
+        lru.query("/missing")
+        assert lru.hits == 1 and lru.misses == 1
+        assert lru.hit_rate() == pytest.approx(0.5)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBloomFilterArray(0)
+
+    def test_num_filters_tracks_distinct_homes(self):
+        lru = self.make(capacity=10)
+        lru.record("/a", 1)
+        lru.record("/b", 2)
+        assert lru.num_filters == 2
+
+
+class TestIDBFA:
+    def make(self):
+        idbfa = IDBloomFilterArray(num_counters=256, num_hashes=4)
+        for mds in (1, 2, 3):
+            idbfa.add_member(mds)
+        return idbfa
+
+    def test_place_and_locate(self):
+        idbfa = self.make()
+        idbfa.place(replica_id=77, mds_id=2)
+        lookup = idbfa.locate(77)
+        assert 2 in lookup.hits
+        assert idbfa.host_of(77) == 2
+
+    def test_duplicate_member_rejected(self):
+        idbfa = self.make()
+        with pytest.raises(ValueError):
+            idbfa.add_member(1)
+
+    def test_place_on_non_member_rejected(self):
+        idbfa = self.make()
+        with pytest.raises(KeyError):
+            idbfa.place(5, mds_id=99)
+
+    def test_double_place_rejected(self):
+        idbfa = self.make()
+        idbfa.place(5, 1)
+        with pytest.raises(ValueError):
+            idbfa.place(5, 2)
+
+    def test_unplace(self):
+        idbfa = self.make()
+        idbfa.place(5, 1)
+        assert idbfa.unplace(5) == 1
+        assert idbfa.host_of(5) is None
+        assert not idbfa.locate(5).hits or 1 not in idbfa.locate(5).hits
+
+    def test_move_updates_both_filters(self):
+        idbfa = self.make()
+        idbfa.place(5, 1)
+        assert idbfa.move(5, 3) == 1
+        assert idbfa.host_of(5) == 3
+        assert 3 in idbfa.locate(5).hits
+
+    def test_remove_member_returns_orphans(self):
+        idbfa = self.make()
+        idbfa.place(5, 2)
+        idbfa.place(6, 2)
+        idbfa.place(7, 1)
+        orphans = idbfa.remove_member(2)
+        assert sorted(orphans) == [5, 6]
+        assert idbfa.host_of(7) == 1
+
+    def test_replicas_on_and_count(self):
+        idbfa = self.make()
+        idbfa.place(5, 1)
+        idbfa.place(6, 1)
+        assert idbfa.replicas_on(1) == [5, 6]
+        assert idbfa.replica_count(1) == 2
+        assert idbfa.replica_count(3) == 0
+
+    def test_copy_is_deep(self):
+        idbfa = self.make()
+        idbfa.place(5, 1)
+        clone = idbfa.copy()
+        clone.unplace(5)
+        assert idbfa.host_of(5) == 1
+        assert clone.host_of(5) is None

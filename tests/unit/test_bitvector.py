@@ -1,0 +1,186 @@
+"""Unit tests for the BitVector substrate."""
+
+import pytest
+
+from repro.bloom.bitvector import BitVector
+
+
+class TestConstruction:
+    def test_starts_all_zero(self):
+        vector = BitVector(100)
+        assert vector.popcount() == 0
+        assert not any(vector)
+
+    def test_length(self):
+        assert len(BitVector(17)) == 17
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+        with pytest.raises(ValueError):
+            BitVector(-5)
+
+    def test_non_byte_aligned_size(self):
+        vector = BitVector(13)
+        for i in range(13):
+            vector.set(i)
+        assert vector.popcount() == 13
+
+
+class TestBitAccess:
+    def test_set_get_clear(self):
+        vector = BitVector(64)
+        vector.set(5)
+        assert vector.get(5)
+        vector.clear(5)
+        assert not vector.get(5)
+
+    def test_setitem_getitem(self):
+        vector = BitVector(16)
+        vector[3] = True
+        assert vector[3]
+        vector[3] = False
+        assert not vector[3]
+
+    def test_negative_index_wraps(self):
+        vector = BitVector(10)
+        vector.set(-1)
+        assert vector.get(9)
+
+    def test_out_of_range_raises(self):
+        vector = BitVector(10)
+        with pytest.raises(IndexError):
+            vector.get(10)
+        with pytest.raises(IndexError):
+            vector.set(100)
+
+    def test_set_is_idempotent(self):
+        vector = BitVector(8)
+        vector.set(2)
+        vector.set(2)
+        assert vector.popcount() == 1
+
+
+class TestWholeVector:
+    def test_reset(self):
+        vector = BitVector(32)
+        for i in range(0, 32, 3):
+            vector.set(i)
+        vector.reset()
+        assert vector.popcount() == 0
+
+    def test_fill_ratio(self):
+        vector = BitVector(10)
+        for i in range(5):
+            vector.set(i)
+        assert vector.fill_ratio() == pytest.approx(0.5)
+
+    def test_copy_is_independent(self):
+        vector = BitVector(16)
+        vector.set(1)
+        clone = vector.copy()
+        clone.set(2)
+        assert not vector.get(2)
+        assert clone.get(1)
+
+    def test_equality(self):
+        a = BitVector(16)
+        b = BitVector(16)
+        assert a == b
+        a.set(3)
+        assert a != b
+        b.set(3)
+        assert a == b
+
+    def test_different_lengths_not_equal(self):
+        assert BitVector(8) != BitVector(9)
+
+
+class TestBitwiseAlgebra:
+    def _pair(self):
+        a = BitVector(16)
+        b = BitVector(16)
+        for i in (1, 2, 3):
+            a.set(i)
+        for i in (3, 4, 5):
+            b.set(i)
+        return a, b
+
+    def test_or(self):
+        a, b = self._pair()
+        result = a | b
+        assert {i for i in range(16) if result.get(i)} == {1, 2, 3, 4, 5}
+
+    def test_and(self):
+        a, b = self._pair()
+        result = a & b
+        assert {i for i in range(16) if result.get(i)} == {3}
+
+    def test_xor(self):
+        a, b = self._pair()
+        result = a ^ b
+        assert {i for i in range(16) if result.get(i)} == {1, 2, 4, 5}
+
+    def test_inplace_or(self):
+        a, b = self._pair()
+        a |= b
+        assert a.popcount() == 5
+
+    def test_inplace_and(self):
+        a, b = self._pair()
+        a &= b
+        assert a.popcount() == 1
+
+    def test_inplace_xor(self):
+        a, b = self._pair()
+        a ^= b
+        assert a.popcount() == 4
+
+    def test_operands_unchanged_by_binary_ops(self):
+        a, b = self._pair()
+        _ = a | b
+        assert a.popcount() == 3
+        assert b.popcount() == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(8) | BitVector(16)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            BitVector(8) | "nope"  # type: ignore[operator]
+
+
+class TestDistanceAndSubset:
+    def test_hamming_distance(self):
+        a, b = BitVector(16), BitVector(16)
+        a.set(1)
+        b.set(2)
+        assert a.hamming_distance(b) == 2
+        assert a.hamming_distance(a) == 0
+
+    def test_is_subset_of(self):
+        a, b = BitVector(16), BitVector(16)
+        a.set(1)
+        b.set(1)
+        b.set(2)
+        assert a.is_subset_of(b)
+        assert not b.is_subset_of(a)
+
+    def test_empty_is_subset_of_everything(self):
+        a, b = BitVector(8), BitVector(8)
+        b.set(0)
+        assert a.is_subset_of(b)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        vector = BitVector(29)
+        for i in (0, 7, 13, 28):
+            vector.set(i)
+        restored = BitVector.from_bytes(29, vector.to_bytes())
+        assert restored == vector
+
+    def test_wrong_payload_length_raises(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(29, b"\x00")

@@ -1,0 +1,112 @@
+"""Unit tests for cluster checkpoint / restore."""
+
+import json
+
+import pytest
+
+from repro.core import checkpoint
+from repro.core.cluster import GHBACluster
+from repro.core.query import QueryLevel
+from repro.metadata.attributes import FileMetadata
+
+
+@pytest.fixture
+def live_cluster(small_config):
+    cluster = GHBACluster(8, small_config, seed=3)
+    cluster.populate(f"/ckpt/d{i % 4}/f{i}" for i in range(240))
+    cluster.synchronize_replicas(force=True)
+    return cluster
+
+
+class TestRoundTrip:
+    def test_restore_preserves_routing(self, live_cluster, tmp_path):
+        placement = {
+            path: live_cluster.home_of(path)
+            for path in [f"/ckpt/d{i % 4}/f{i}" for i in range(0, 240, 11)]
+        }
+        path = tmp_path / "cluster.json"
+        size = checkpoint.save(live_cluster, path)
+        assert size > 0
+        restored = checkpoint.load(path)
+        restored.check_invariants()
+        for file_path, home in placement.items():
+            result = restored.query(file_path)
+            assert result.found
+            assert result.home_id == home
+
+    def test_restore_preserves_structure(self, live_cluster, tmp_path):
+        path = tmp_path / "cluster.json"
+        checkpoint.save(live_cluster, path)
+        restored = checkpoint.load(path)
+        assert restored.num_servers == live_cluster.num_servers
+        assert restored.num_groups == live_cluster.num_groups
+        assert restored.replicas_per_server() == (
+            live_cluster.replicas_per_server()
+        )
+        for group_id, group in live_cluster.groups.items():
+            assert restored.groups[group_id].member_ids() == group.member_ids()
+            assert restored.groups[group_id].idbfa.placements() == (
+                group.idbfa.placements()
+            )
+
+    def test_restore_preserves_filters_bitwise(self, live_cluster, tmp_path):
+        path = tmp_path / "cluster.json"
+        checkpoint.save(live_cluster, path)
+        restored = checkpoint.load(path)
+        for server_id, server in live_cluster.servers.items():
+            assert restored.servers[server_id].local_filter == (
+                server.local_filter
+            )
+            assert restored.servers[server_id].published_filter == (
+                server.published_filter
+            )
+
+    def test_negative_lookups_after_restore(self, live_cluster, tmp_path):
+        path = tmp_path / "cluster.json"
+        checkpoint.save(live_cluster, path)
+        restored = checkpoint.load(path)
+        result = restored.query("/never/existed")
+        assert not result.found
+        assert result.level is QueryLevel.NEGATIVE
+
+    def test_restored_cluster_fully_operational(self, live_cluster, tmp_path):
+        """Restore, then keep operating: inserts, syncs, reconfiguration."""
+        path = tmp_path / "cluster.json"
+        checkpoint.save(live_cluster, path)
+        restored = checkpoint.load(path)
+        restored.insert_file(
+            FileMetadata(path="/after/restore", inode=999), home_id=0
+        )
+        restored.synchronize_replicas(force=True)
+        assert restored.query("/after/restore").home_id == 0
+        restored.add_server()
+        restored.check_invariants()
+
+    def test_snapshot_is_json_serializable(self, live_cluster):
+        document = checkpoint.snapshot(live_cluster)
+        json.dumps(document)  # must not raise
+
+    def test_lru_state_not_persisted(self, live_cluster, tmp_path):
+        """Caches are rebuilt, not restored (documented behaviour)."""
+        hot = "/ckpt/d0/f0"
+        live_cluster.query(hot, origin_id=0)
+        assert live_cluster.query(hot, origin_id=0).level is QueryLevel.L1
+        path = tmp_path / "cluster.json"
+        checkpoint.save(live_cluster, path)
+        restored = checkpoint.load(path)
+        first = restored.query(hot, origin_id=0)
+        assert first.level is not QueryLevel.L1
+
+
+class TestFormatGuards:
+    def test_version_mismatch_rejected(self, live_cluster):
+        document = checkpoint.snapshot(live_cluster)
+        document["format_version"] = 999
+        with pytest.raises(ValueError, match="format"):
+            checkpoint.restore(document)
+
+    def test_corrupt_payload_rejected(self, live_cluster, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            checkpoint.load(path)

@@ -1,0 +1,31 @@
+"""Unit tests for the experiment CLI dispatcher."""
+
+import pytest
+
+from repro.experiments.__main__ import REGISTRY, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_run_table01(self, capsys):
+        assert main(["table01"]) == 0
+        out = capsys.readouterr().out
+        assert "g_hba" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_registry_modules_importable(self):
+        import importlib
+
+        for name in REGISTRY:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")

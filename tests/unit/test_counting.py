@@ -1,0 +1,125 @@
+"""Unit tests for the counting Bloom filter."""
+
+import pytest
+
+from repro.bloom.counting import CountingBloomFilter
+
+
+class TestBasics:
+    def test_add_query(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.add("x")
+        assert "x" in cbf
+        assert cbf.num_items == 1
+
+    def test_remove_restores_absence(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.add("x")
+        cbf.remove("x")
+        assert "x" not in cbf
+        assert cbf.num_items == 0
+
+    def test_remove_keeps_other_items(self):
+        cbf = CountingBloomFilter(1024, 4)
+        for i in range(50):
+            cbf.add(f"keep{i}")
+        cbf.add("victim")
+        cbf.remove("victim")
+        assert all(cbf.query(f"keep{i}") for i in range(50))
+
+    def test_remove_absent_raises(self):
+        cbf = CountingBloomFilter(256, 4)
+        with pytest.raises(KeyError):
+            cbf.remove("ghost")
+
+    def test_discard_returns_false_for_absent(self):
+        cbf = CountingBloomFilter(256, 4)
+        assert cbf.discard("ghost") is False
+        cbf.add("x")
+        assert cbf.discard("x") is True
+
+    def test_double_add_needs_double_remove(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.add("x")
+        cbf.add("x")
+        cbf.remove("x")
+        assert "x" in cbf
+        cbf.remove("x")
+        assert "x" not in cbf
+
+    def test_clear(self):
+        cbf = CountingBloomFilter(128, 4)
+        cbf.update(["a", "b"])
+        cbf.clear()
+        assert "a" not in cbf and cbf.num_items == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0, 4)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(64, 4, counter_bits=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(64, 4, counter_bits=17)
+
+
+class TestCounters:
+    def test_count_estimate_upper_bounds_truth(self):
+        cbf = CountingBloomFilter(512, 4)
+        for _ in range(3):
+            cbf.add("multi")
+        assert cbf.count_estimate("multi") >= 3
+
+    def test_saturation_does_not_false_negative(self):
+        """Saturated counters must stay saturated through removals."""
+        cbf = CountingBloomFilter(8, 2, counter_bits=2)  # max count 3
+        for i in range(40):
+            cbf.add(f"i{i}")  # guaranteed saturation on 8 counters
+        cbf.discard("i0")
+        # Every inserted item must still be reported present.
+        assert all(cbf.query(f"i{i}") for i in range(1, 40))
+
+    def test_fill_ratio(self):
+        cbf = CountingBloomFilter(64, 2)
+        assert cbf.fill_ratio() == 0.0
+        cbf.add("a")
+        assert 0 < cbf.fill_ratio() <= 2 / 64
+
+
+class TestConversions:
+    def test_to_bloom_filter_equivalent_membership(self):
+        cbf = CountingBloomFilter(512, 4, seed=2)
+        items = [f"p{i}" for i in range(40)]
+        cbf.update(items)
+        bloom = cbf.to_bloom_filter()
+        for i in range(200):
+            probe = f"probe{i}"
+            assert bloom.query(probe) == cbf.query(probe)
+        assert all(bloom.query(item) for item in items)
+
+    def test_copy_independent(self):
+        cbf = CountingBloomFilter(128, 4)
+        cbf.add("a")
+        clone = cbf.copy()
+        clone.remove("a")
+        assert "a" in cbf
+        assert "a" not in clone
+
+    def test_compatibility(self):
+        a = CountingBloomFilter(128, 4, seed=1)
+        b = CountingBloomFilter(128, 4, seed=1)
+        c = CountingBloomFilter(128, 4, seed=9)
+        assert a.is_compatible(b)
+        assert not a.is_compatible(c)
+
+    def test_contains_indices_matches_query(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.add("x")
+        indices = cbf.hash_family.indices("x")
+        assert cbf.contains_indices(indices)
+        absent = cbf.hash_family.indices("definitely-absent-item-123")
+        assert cbf.contains_indices(absent) == cbf.query(
+            "definitely-absent-item-123"
+        )
+
+    def test_size_bytes_positive(self):
+        assert CountingBloomFilter(128, 4).size_bytes() > 0

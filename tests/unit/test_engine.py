@@ -1,0 +1,143 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_execution(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(1.0, lambda: ran.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert ran == []
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(event)  # must not raise
+
+
+class TestRunControl:
+    def test_run_until_executes_only_due_events(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append(1))
+        sim.schedule(5.0, lambda: ran.append(5))
+        executed = sim.run_until(2.0)
+        assert executed == 1 and ran == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_run_until_boundary_inclusive(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(2.0, lambda: ran.append(2))
+        sim.run_until(2.0)
+        assert ran == [2]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 2
+
+    def test_advance(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(0.5)
+        assert sim.advance(1.0) == 1
+        assert sim.now == 1.5
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run_until(0.5)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_periodic_stop(self):
+        sim = Simulator()
+        ticks = []
+        stop = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(2.5)
+        stop()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_periodic_custom_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(2.0, lambda: ticks.append(sim.now), start_delay=0.5)
+        sim.run_until(3.0)
+        assert ticks == [0.5, 2.5]
+
+    def test_periodic_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_periodic(0.0, lambda: None)

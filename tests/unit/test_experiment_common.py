@@ -1,0 +1,67 @@
+"""Unit tests for the experiment result container and table rendering."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, format_table
+
+
+@pytest.fixture
+def result():
+    res = ExperimentResult(name="demo", title="Demo experiment")
+    res.rows = [
+        {"scheme": "a", "n": 10, "value": 1.5},
+        {"scheme": "b", "n": 10, "value": 2.5},
+        {"scheme": "a", "n": 20, "value": 3.5},
+    ]
+    return res
+
+
+class TestExperimentResult:
+    def test_column(self, result):
+        assert result.column("value") == [1.5, 2.5, 3.5]
+
+    def test_filter_single_criterion(self, result):
+        rows = result.filter(scheme="a")
+        assert len(rows) == 2
+        assert all(row["scheme"] == "a" for row in rows)
+
+    def test_filter_multiple_criteria(self, result):
+        rows = result.filter(scheme="a", n=20)
+        assert len(rows) == 1
+        assert rows[0]["value"] == 3.5
+
+    def test_filter_no_match(self, result):
+        assert result.filter(scheme="z") == []
+
+    def test_format_contains_title_and_rows(self, result):
+        text = result.format()
+        assert "Demo experiment" in text
+        assert "scheme" in text and "2.500" in text
+
+    def test_format_empty(self):
+        empty = ExperimentResult(name="e", title="Empty")
+        assert "(no rows)" in empty.format()
+
+    def test_format_float_digits(self, result):
+        assert "1.50000" in result.format(float_digits=5)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [
+            {"long_column_name": "x", "v": 1},
+            {"long_column_name": "longer_value", "v": 22},
+        ]
+        lines = format_table(rows).splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # All lines padded to a consistent width structure.
+        assert lines[0].startswith("long_column_name")
+        assert set(lines[1]) == {"-"}
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text  # second row renders despite missing "b"
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,138 @@
+"""Unit tests for heartbeat-based failure detection (Section 4.5)."""
+
+import pytest
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.core.failure import HeartbeatMonitor
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def config():
+    return GHBAConfig(
+        max_group_size=3,
+        expected_files_per_mds=128,
+        lru_capacity=16,
+        lru_filter_bits=128,
+        heartbeat_interval_s=1.0,
+        heartbeat_timeout_s=3.0,
+        seed=2,
+    )
+
+
+@pytest.fixture
+def setup(config):
+    cluster = GHBACluster(6, config, seed=2)
+    simulator = Simulator()
+    monitor = HeartbeatMonitor(cluster, simulator)
+    monitor.start()
+    return cluster, simulator, monitor
+
+
+class TestHealthyOperation:
+    def test_no_false_detections(self, setup):
+        cluster, simulator, monitor = setup
+        simulator.run_until(30.0)
+        assert monitor.failures == []
+        assert cluster.num_servers == 6
+
+    def test_heartbeats_flow(self, setup):
+        _, simulator, monitor = setup
+        simulator.run_until(5.0)
+        assert monitor.heartbeats_sent > 0
+
+    def test_stop_halts_protocol(self, setup):
+        _, simulator, monitor = setup
+        simulator.run_until(2.0)
+        monitor.stop()
+        sent = monitor.heartbeats_sent
+        simulator.run_until(10.0)
+        assert monitor.heartbeats_sent == sent
+
+
+class TestDetection:
+    def test_crashed_server_detected_within_timeout(self, setup):
+        cluster, simulator, monitor = setup
+        simulator.run_until(2.0)
+        monitor.crash(0)
+        simulator.run_until(10.0)
+        assert monitor.detected(0)
+        event = monitor.failures[0]
+        # Detection happens after the timeout but not much later.
+        assert event.detected_at - event.last_heartbeat_at >= 3.0
+        assert event.detected_at - event.last_heartbeat_at <= 3.0 + 2 * 1.0
+
+    def test_detection_excises_server(self, setup):
+        cluster, simulator, monitor = setup
+        monitor.crash(0)
+        simulator.run_until(10.0)
+        assert 0 not in cluster.servers
+        cluster.check_invariants()
+
+    def test_detector_is_group_peer(self, setup):
+        cluster, simulator, monitor = setup
+        victim = 1
+        peers = cluster.group_of(victim).member_ids()
+        monitor.crash(victim)
+        simulator.run_until(10.0)
+        event = monitor.failures[0]
+        assert event.detected_by in peers
+        assert event.detected_by != victim
+
+    def test_callbacks_invoked(self, setup):
+        cluster, simulator, monitor = setup
+        seen = []
+        monitor.on_failure(lambda event: seen.append(event.server_id))
+        monitor.crash(2)
+        simulator.run_until(10.0)
+        assert seen == [2]
+
+    def test_multiple_failures(self, setup):
+        cluster, simulator, monitor = setup
+        monitor.crash(0)
+        monitor.crash(3)
+        simulator.run_until(15.0)
+        assert {event.server_id for event in monitor.failures} == {0, 3}
+        cluster.check_invariants()
+
+    def test_crash_unknown_raises(self, setup):
+        _, _, monitor = setup
+        with pytest.raises(KeyError):
+            monitor.crash(99)
+
+
+class TestDegradedService:
+    def test_lost_files_negative_not_misrouted(self, config):
+        cluster = GHBACluster(6, config, seed=2)
+        placement = cluster.populate(f"/hb/f{i}" for i in range(60))
+        cluster.synchronize_replicas(force=True)
+        simulator = Simulator()
+        monitor = HeartbeatMonitor(cluster, simulator)
+        monitor.start()
+        victim = cluster.server_ids()[0]
+        victim_files = [p for p, h in placement.items() if h == victim]
+        monitor.crash(victim)
+        simulator.run_until(10.0)
+        for path in victim_files[:5]:
+            assert not cluster.query(path).found
+        survivors = [(p, h) for p, h in placement.items() if h != victim][:10]
+        for path, home in survivors:
+            assert cluster.query(path).home_id == home
+
+    def test_no_auto_excise_mode(self, config):
+        cluster = GHBACluster(4, config, seed=1)
+        simulator = Simulator()
+        monitor = HeartbeatMonitor(cluster, simulator, auto_excise=False)
+        monitor.start()
+        monitor.crash(0)
+        simulator.run_until(10.0)
+        assert monitor.detected(0)
+        assert 0 in cluster.servers  # the operator decides
+
+    def test_track_new_server(self, setup):
+        cluster, simulator, monitor = setup
+        report = cluster.add_server()
+        monitor.track(report.server_id)
+        simulator.run_until(20.0)
+        assert not monitor.detected(report.server_id)

@@ -1,0 +1,183 @@
+"""Unit tests for Group: replica hosting, IDBFA coordination, membership."""
+
+import pytest
+
+from repro.core.config import GHBAConfig
+from repro.core.group import Group, GroupError
+from repro.core.server import MetadataServer
+from repro.metadata.attributes import FileMetadata
+
+
+@pytest.fixture
+def config():
+    return GHBAConfig(
+        max_group_size=4,
+        expected_files_per_mds=128,
+        lru_capacity=16,
+        lru_filter_bits=128,
+        seed=3,
+    )
+
+
+def make_server(server_id, config, files=()):
+    server = MetadataServer(server_id, config)
+    for index, path in enumerate(files):
+        server.insert_metadata(FileMetadata(path=path, inode=index))
+    return server
+
+
+def make_group(config, member_ids=(0, 1, 2)):
+    group = Group(0)
+    for server_id in member_ids:
+        server = make_server(server_id, config)
+        group.idbfa.add_member(server_id)
+        group._members[server_id] = server
+    return group
+
+
+class TestReplicaHosting:
+    def test_install_goes_to_lightest(self, config):
+        group = make_group(config)
+        outside = make_server(10, config, files=["/r10"])
+        host = group.install_replica(10, outside.publish_filter())
+        assert host in group.member_ids()
+        assert group.idbfa.host_of(10) == host
+        # Second replica lands on a different (now lighter) member.
+        outside2 = make_server(11, config)
+        host2 = group.install_replica(11, outside2.publish_filter())
+        assert host2 != host
+
+    def test_install_member_replica_rejected(self, config):
+        group = make_group(config)
+        with pytest.raises(GroupError):
+            group.install_replica(1, make_server(1, config).publish_filter())
+
+    def test_install_duplicate_rejected(self, config):
+        group = make_group(config)
+        group.install_replica(10, make_server(10, config).publish_filter())
+        with pytest.raises(GroupError):
+            group.install_replica(10, make_server(10, config).publish_filter())
+
+    def test_remove_replica(self, config):
+        group = make_group(config)
+        host = group.install_replica(
+            10, make_server(10, config).publish_filter()
+        )
+        assert group.remove_replica(10) == host
+        assert group.idbfa.host_of(10) is None
+        with pytest.raises(GroupError):
+            group.remove_replica(10)
+
+    def test_update_replica_reaches_true_host(self, config):
+        group = make_group(config)
+        outside = make_server(10, config)
+        host = group.install_replica(10, outside.publish_filter())
+        outside.insert_metadata(FileMetadata(path="/fresh", inode=9))
+        messages, false_candidates = group.update_replica(
+            10, outside.publish_filter()
+        )
+        assert messages >= 1
+        hosting = group.get_member(host)
+        assert hosting.segment.get_replica(10).query("/fresh")
+
+    def test_update_unknown_replica_rejected(self, config):
+        group = make_group(config)
+        with pytest.raises(GroupError):
+            group.update_replica(99, make_server(99, config).publish_filter())
+
+
+class TestGroupQuery:
+    def test_multicast_finds_member_local_file(self, config):
+        group = make_group(config)
+        group.get_member(1).insert_metadata(FileMetadata(path="/on1", inode=1))
+        lookup = group.multicast_query("/on1")
+        assert lookup.unique_hit == 1
+
+    def test_multicast_finds_hosted_replica(self, config):
+        group = make_group(config)
+        outside = make_server(10, config, files=["/outside-file"])
+        group.install_replica(10, outside.publish_filter())
+        lookup = group.multicast_query("/outside-file")
+        assert lookup.unique_hit == 10
+
+    def test_multicast_zero_hits_for_unknown(self, config):
+        group = make_group(config)
+        assert group.multicast_query("/nowhere").hits == ()
+
+
+class TestMembership:
+    def test_add_member_offloads_replicas(self, config):
+        group = make_group(config, member_ids=(0, 1))
+        # Group of 2 in a 10-server system: hosts 8 outside replicas.
+        for outside_id in range(2, 10):
+            group.install_replica(
+                outside_id, make_server(outside_id, config).publish_filter()
+            )
+        newcomer = make_server(20, config)
+        migrated = group.add_member(newcomer, total_servers=11)
+        assert migrated > 0
+        assert newcomer.theta == migrated
+        assert group.load_imbalance() <= 1
+
+    def test_add_member_with_replicas_rejected(self, config):
+        group = make_group(config)
+        loaded = make_server(20, config)
+        loaded.host_replica(99, make_server(99, config).publish_filter())
+        with pytest.raises(GroupError):
+            group.add_member(loaded, total_servers=4)
+
+    def test_remove_member_migrates_hosted_replicas(self, config):
+        group = make_group(config)
+        for outside_id in (10, 11, 12):
+            group.install_replica(
+                outside_id, make_server(outside_id, config).publish_filter()
+            )
+        victim_id = group.idbfa.host_of(10)
+        _, migrated = group.remove_member(victim_id)
+        assert group.idbfa.host_of(10) is not None
+        assert group.idbfa.host_of(10) != victim_id
+        assert victim_id not in group
+
+    def test_remove_last_member_rejected(self, config):
+        group = make_group(config, member_ids=(0,))
+        with pytest.raises(GroupError):
+            group.remove_member(0)
+
+    def test_dissolve_returns_all_replicas(self, config):
+        group = make_group(config)
+        for outside_id in (10, 11):
+            group.install_replica(
+                outside_id, make_server(outside_id, config).publish_filter()
+            )
+        replicas = group.dissolve()
+        assert sorted(home for home, _ in replicas) == [10, 11]
+        assert group.size == 0
+
+
+class TestInvariant:
+    def test_mirror_invariant_holds(self, config):
+        group = make_group(config)
+        all_ids = [0, 1, 2, 10, 11]
+        for outside_id in (10, 11):
+            group.install_replica(
+                outside_id, make_server(outside_id, config).publish_filter()
+            )
+        group.check_mirror_invariant(all_ids)
+
+    def test_mirror_invariant_detects_missing(self, config):
+        group = make_group(config)
+        with pytest.raises(GroupError, match="missing"):
+            group.check_mirror_invariant([0, 1, 2, 10])
+
+    def test_mirror_invariant_detects_idbfa_drift(self, config):
+        group = make_group(config)
+        group.install_replica(10, make_server(10, config).publish_filter())
+        group.check_mirror_invariant([0, 1, 2, 10])
+        # Corrupt the IDBFA placement record.
+        group.idbfa.move(10, group.member_ids()[0])
+        actual_host = [
+            m.server_id for m in group.members() if 10 in m.segment
+        ][0]
+        if group.idbfa.host_of(10) != actual_host:
+            with pytest.raises(GroupError, match="IDBFA"):
+                group.check_mirror_invariant([0, 1, 2, 10])

@@ -1,0 +1,98 @@
+"""Unit tests for the hash-based metadata placement baseline."""
+
+import pytest
+
+from repro.baselines.hash_metadata import HashMetadataCluster
+from repro.metadata.attributes import FileMetadata
+
+
+@pytest.fixture
+def cluster():
+    cluster = HashMetadataCluster(10, seed=1)
+    cluster.populate(f"/vol/dir{d}/f{i}" for d in range(5) for i in range(40))
+    return cluster
+
+
+class TestPlacement:
+    def test_lookup_is_deterministic(self, cluster):
+        assert cluster.home_of("/vol/dir0/f0") == cluster.home_of("/vol/dir0/f0")
+
+    def test_lookup_finds_inserted(self, cluster):
+        meta = cluster.lookup("/vol/dir1/f3")
+        assert meta is not None
+        assert meta.path == "/vol/dir1/f3"
+
+    def test_lookup_missing_none(self, cluster):
+        assert cluster.lookup("/nope") is None
+
+    def test_hashing_balances_load(self, cluster):
+        """Table 1: hash-based mapping's load-balance strength."""
+        assert cluster.load_imbalance() < 2.0
+
+    def test_insert_goes_to_hash_home(self):
+        cluster = HashMetadataCluster(4)
+        meta = FileMetadata(path="/x/y", inode=1)
+        home = cluster.insert_file(meta)
+        assert home == cluster.home_of("/x/y")
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            HashMetadataCluster(0)
+
+
+class TestRenameCost:
+    def test_rename_migrates_most_records(self, cluster):
+        """Section 1.1: renaming an upper directory migrates ~(1 - 1/N)."""
+        report = cluster.rename_subtree("/vol/dir0", "/vol/renamed")
+        assert report.rehashed == 40
+        assert report.migrated >= 40 * 0.7  # expectation 0.9 at N=10
+        # Every record remains reachable under its new name.
+        for i in range(40):
+            assert cluster.lookup(f"/vol/renamed/f{i}") is not None
+            assert cluster.lookup(f"/vol/dir0/f{i}") is None
+
+    def test_rename_noop(self, cluster):
+        report = cluster.rename_subtree("/vol/dir0", "/vol/dir0")
+        assert report.rehashed == 0
+
+    def test_rename_does_not_touch_other_dirs(self, cluster):
+        cluster.rename_subtree("/vol/dir0", "/vol/renamed")
+        assert cluster.lookup("/vol/dir1/f0") is not None
+
+    def test_exact_prefix_match_only(self):
+        """'/a/bc' must not be renamed when '/a/b' is."""
+        cluster = HashMetadataCluster(4)
+        cluster.populate(["/a/b/f", "/a/bc/f"])
+        cluster.rename_subtree("/a/b", "/a/z")
+        assert cluster.lookup("/a/z/f") is not None
+        assert cluster.lookup("/a/bc/f") is not None
+
+
+class TestResizeCost:
+    def test_add_server_rehashes_everything(self, cluster):
+        total = cluster.file_count
+        report = cluster.add_server()
+        assert report.rehashed == total
+        assert report.migrated >= total * 0.7  # ~(1 - 1/(N+1))
+        assert cluster.num_servers == 11
+        assert cluster.file_count == total
+
+    def test_remove_server_preserves_records(self, cluster):
+        total = cluster.file_count
+        report = cluster.remove_server()
+        assert cluster.num_servers == 9
+        assert cluster.file_count == total
+        assert report.migrated > 0
+        assert cluster.lookup("/vol/dir2/f7") is not None
+
+    def test_cannot_remove_last(self):
+        with pytest.raises(ValueError):
+            HashMetadataCluster(1).remove_server()
+
+    def test_lookups_correct_after_resize(self, cluster):
+        cluster.add_server()
+        for d in range(5):
+            for i in range(0, 40, 7):
+                path = f"/vol/dir{d}/f{i}"
+                meta = cluster.lookup(path)
+                assert meta is not None and meta.path == path

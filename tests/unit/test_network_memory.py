@@ -1,0 +1,144 @@
+"""Unit tests for the network latency and memory models."""
+
+import pytest
+
+from repro.sim.memory import MemoryModel, megabytes
+from repro.sim.network import NetworkModel
+
+
+class TestNetworkModel:
+    def test_ordering_memory_lan_disk(self):
+        net = NetworkModel()
+        assert net.memory_probe_ms < net.unicast_ms < net.disk_access_ms
+
+    def test_probe_cost_all_in_memory(self):
+        net = NetworkModel()
+        assert net.probe_cost_ms(10, 1.0) == pytest.approx(
+            10 * net.memory_probe_ms
+        )
+
+    def test_probe_cost_all_spilled(self):
+        net = NetworkModel()
+        assert net.probe_cost_ms(10, 0.0) == pytest.approx(
+            10 * net.disk_access_ms
+        )
+
+    def test_probe_cost_mixed(self):
+        net = NetworkModel()
+        cost = net.probe_cost_ms(10, 0.5)
+        assert cost == pytest.approx(
+            5 * net.memory_probe_ms + 5 * net.disk_access_ms
+        )
+
+    def test_probe_cost_validation(self):
+        net = NetworkModel()
+        with pytest.raises(ValueError):
+            net.probe_cost_ms(-1)
+        with pytest.raises(ValueError):
+            net.probe_cost_ms(1, 1.5)
+
+    def test_multicast_grows_with_fanout(self):
+        net = NetworkModel()
+        assert net.multicast_ms(10) > net.multicast_ms(2)
+        assert net.multicast_ms(0) == 0.0
+
+    def test_group_and_global_multicast(self):
+        net = NetworkModel()
+        assert net.group_multicast_ms(6) == net.multicast_ms(5)
+        assert net.global_multicast_ms(100) == net.multicast_ms(99)
+        assert net.group_multicast_ms(1) == 0.0
+
+    def test_round_trip_is_two_unicasts(self):
+        net = NetworkModel(unicast_ms=0.3)
+        assert net.round_trip_ms() == pytest.approx(0.6)
+
+    def test_queueing_linear(self):
+        net = NetworkModel(queueing_ms_per_outstanding=0.01)
+        assert net.queueing_ms(100) == pytest.approx(1.0)
+        assert net.queueing_ms(0) == 0.0
+
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ValueError):
+            NetworkModel(disk_access_ms=-1)
+
+
+class TestMemoryModelPriority:
+    def test_unbounded_everything_resident(self):
+        model = MemoryModel()
+        model.set_consumer("a", 1000, 0)
+        assert model.resident_fraction("a") == 1.0
+
+    def test_priority_spill_order(self):
+        model = MemoryModel(budget_bytes=150, mode="priority")
+        model.set_consumer("pinned", 100, 0)
+        model.set_consumer("bulk", 100, 2)
+        assert model.resident_fraction("pinned") == 1.0
+        assert model.resident_fraction("bulk") == pytest.approx(0.5)
+
+    def test_fully_spilled_tail(self):
+        model = MemoryModel(budget_bytes=100, mode="priority")
+        model.set_consumer("first", 100, 0)
+        model.set_consumer("second", 50, 1)
+        assert model.resident_fraction("second") == 0.0
+
+    def test_zero_byte_consumer_fully_resident(self):
+        model = MemoryModel(budget_bytes=0, mode="priority")
+        model.set_consumer("empty", 0, 0)
+        assert model.resident_fraction("empty") == 1.0
+
+    def test_unknown_consumer_raises(self):
+        with pytest.raises(KeyError):
+            MemoryModel().resident_fraction("ghost")
+
+    def test_overcommitted_flag(self):
+        model = MemoryModel(budget_bytes=10)
+        model.set_consumer("a", 5, 0)
+        assert not model.overcommitted
+        model.set_consumer("b", 6, 1)
+        assert model.overcommitted
+
+
+class TestMemoryModelProportional:
+    def test_fits_budget_fully_resident(self):
+        model = MemoryModel(budget_bytes=200, mode="proportional")
+        model.set_consumer("a", 100, 0)
+        model.set_consumer("b", 100, 1)
+        assert model.resident_fraction("a") == 1.0
+
+    def test_overcommit_shares_fraction(self):
+        model = MemoryModel(budget_bytes=100, mode="proportional")
+        model.set_consumer("a", 100, 0)
+        model.set_consumer("b", 100, 1)
+        assert model.resident_fraction("a") == pytest.approx(0.5)
+        assert model.resident_fraction("b") == pytest.approx(0.5)
+
+    def test_budget_update_changes_fractions(self):
+        model = MemoryModel(budget_bytes=100, mode="proportional")
+        model.set_consumer("a", 200, 0)
+        assert model.resident_fraction("a") == pytest.approx(0.5)
+        model.budget_bytes = 50
+        assert model.resident_fraction("a") == pytest.approx(0.25)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(mode="magic")
+
+
+class TestHelpers:
+    def test_snapshot_ordering(self):
+        model = MemoryModel(budget_bytes=100)
+        model.set_consumer("z_pinned", 10, 0)
+        model.set_consumer("a_bulk", 10, 2)
+        names = [name for name, _, _ in model.snapshot()]
+        assert names == ["z_pinned", "a_bulk"]
+
+    def test_remove_consumer(self):
+        model = MemoryModel()
+        model.set_consumer("a", 10, 0)
+        model.remove_consumer("a")
+        assert model.total_bytes == 0
+
+    def test_megabytes(self):
+        assert megabytes(1) == 1024 * 1024
+        with pytest.raises(ValueError):
+            megabytes(-1)

@@ -1,0 +1,73 @@
+"""Unit tests for GHBACluster.rename_subtree (zero-migration renames)."""
+
+import pytest
+
+from repro.core.query import QueryLevel
+
+
+class TestRenameSubtree:
+    def test_renamed_files_resolve_at_same_home(self, populated_cluster):
+        cluster, placement = populated_cluster
+        victims = {
+            path: home
+            for path, home in placement.items()
+            if path.startswith("/fs/dir0/")
+        }
+        renamed = cluster.rename_subtree("/fs/dir0", "/fs/moved")
+        assert renamed == len(victims)
+        cluster.synchronize_replicas(force=True)
+        for old_path, home in list(victims.items())[:15]:
+            new_path = "/fs/moved" + old_path[len("/fs/dir0"):]
+            result = cluster.query(new_path)
+            assert result.found
+            assert result.home_id == home  # zero migration
+
+    def test_old_names_become_negative(self, populated_cluster):
+        cluster, placement = populated_cluster
+        old_path = next(p for p in placement if p.startswith("/fs/dir1/"))
+        cluster.rename_subtree("/fs/dir1", "/fs/elsewhere")
+        result = cluster.query(old_path)
+        assert not result.found
+
+    def test_exact_prefix_only(self, populated_cluster):
+        """'/fs/dir2' rename must not touch '/fs/dir20'-style siblings."""
+        cluster, _ = populated_cluster
+        from repro.metadata.attributes import FileMetadata
+
+        cluster.insert_file(
+            FileMetadata(path="/fs/dir2x/keep", inode=90001), home_id=0
+        )
+        cluster.synchronize_replicas(force=True)
+        cluster.rename_subtree("/fs/dir2", "/fs/renamed2")
+        assert cluster.home_of("/fs/dir2x/keep") == 0
+
+    def test_noop_rename(self, populated_cluster):
+        cluster, _ = populated_cluster
+        assert cluster.rename_subtree("/fs/dir3", "/fs/dir3") == 0
+
+    def test_rename_nothing_matches(self, populated_cluster):
+        cluster, _ = populated_cluster
+        assert cluster.rename_subtree("/no/such/prefix", "/other") == 0
+
+    def test_relative_prefixes_rejected(self, populated_cluster):
+        cluster, _ = populated_cluster
+        with pytest.raises(ValueError):
+            cluster.rename_subtree("fs/dir0", "/x")
+        with pytest.raises(ValueError):
+            cluster.rename_subtree("/fs/dir0", "x")
+
+    def test_lru_entries_for_old_names_invalidated(self, populated_cluster):
+        cluster, placement = populated_cluster
+        old_path = next(p for p in placement if p.startswith("/fs/dir4/"))
+        origin = cluster.server_ids()[0]
+        cluster.query(old_path, origin_id=origin)  # warms the origin's LRU
+        cluster.rename_subtree("/fs/dir4", "/fs/newdir4")
+        # The stale hot entry must not cause an L1 false forward to a
+        # "found" answer for the dead name.
+        result = cluster.query(old_path, origin_id=origin)
+        assert not result.found
+
+    def test_invariants_hold_after_rename(self, populated_cluster):
+        cluster, _ = populated_cluster
+        cluster.rename_subtree("/fs/dir5", "/fs/dir5_new")
+        cluster.check_invariants()

@@ -1,0 +1,179 @@
+"""Unit tests for metric recorders and seeded samplers."""
+
+import pytest
+
+from repro.sim.rng import ZipfSampler, exponential_interarrival, make_rng, weighted_choice
+from repro.sim.stats import Counter, LatencyRecorder, SeriesRecorder
+
+
+class TestCounter:
+    def test_increment_and_get(self):
+        counter = Counter()
+        counter.increment("L1")
+        counter.increment("L1", 2)
+        assert counter["L1"] == 3
+        assert counter.get("missing") == 0
+
+    def test_fractions(self):
+        counter = Counter()
+        counter.increment("a", 3)
+        counter.increment("b", 1)
+        fractions = counter.fractions()
+        assert fractions["a"] == pytest.approx(0.75)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        assert Counter().fractions() == {}
+
+    def test_clear(self):
+        counter = Counter()
+        counter.increment("x")
+        counter.clear()
+        assert counter.total() == 0
+
+
+class TestLatencyRecorder:
+    def test_exact_moments(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.count == 3
+        assert recorder.mean == pytest.approx(2.0)
+        assert recorder.minimum == 1.0
+        assert recorder.maximum == 3.0
+
+    def test_percentiles_small_sample(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(50) == pytest.approx(50.5, abs=1.0)
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 100.0
+
+    def test_reservoir_bounded(self):
+        recorder = LatencyRecorder(reservoir_size=64)
+        for value in range(10_000):
+            recorder.record(float(value % 100))
+        # percentile over reservoir stays in the data range
+        assert 0 <= recorder.percentile(50) <= 99
+        assert recorder.count == 10_000
+
+    def test_stddev(self):
+        recorder = LatencyRecorder()
+        for value in (2.0, 2.0, 2.0):
+            recorder.record(value)
+        assert recorder.stddev == pytest.approx(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+    def test_empty_recorder_safe(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean == 0.0
+        assert recorder.percentile(50) == 0.0
+
+
+class TestSeriesRecorder:
+    def test_windows_average(self):
+        series = SeriesRecorder(window_width=10)
+        for x in range(20):
+            series.record(x, float(x < 10))  # 1.0 in first window, 0.0 after
+        points = series.finish()
+        assert len(points) == 2
+        assert points[0].mean == pytest.approx(1.0)
+        assert points[1].mean == pytest.approx(0.0)
+
+    def test_window_centers(self):
+        series = SeriesRecorder(window_width=10)
+        series.record(0, 1.0)
+        series.record(15, 2.0)
+        points = series.finish()
+        assert points[0].x == pytest.approx(5.0)
+        assert points[1].x == pytest.approx(15.0)
+
+    def test_empty_windows_skipped(self):
+        series = SeriesRecorder(window_width=1)
+        series.record(0, 1.0)
+        series.record(10, 2.0)
+        assert len(series.finish()) == 2
+
+    def test_non_monotone_x_rejected(self):
+        series = SeriesRecorder(window_width=10)
+        series.record(25, 1.0)
+        with pytest.raises(ValueError):
+            series.record(3, 1.0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesRecorder(window_width=0)
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, 1.0, make_rng(1))
+        assert all(0 <= sampler.sample() < 100 for _ in range(500))
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(1000, 1.0, make_rng(2))
+        draws = sampler.sample_many(5_000)
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 500)
+        assert head > tail
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0, make_rng(3))
+        assert sampler.probability(0) == pytest.approx(0.1)
+        assert sampler.probability(9) == pytest.approx(0.1)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, 0.9, make_rng(4))
+        total = sum(sampler.probability(r) for r in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(100, 1.0, make_rng(7)).sample_many(20)
+        b = ZipfSampler(100, 1.0, make_rng(7)).sample_many(20)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, make_rng(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, make_rng(0))
+        with pytest.raises(IndexError):
+            ZipfSampler(10, 1.0, make_rng(0)).probability(10)
+
+
+class TestOtherSamplers:
+    def test_exponential_positive(self):
+        rng = make_rng(5)
+        assert all(
+            exponential_interarrival(100.0, rng) > 0 for _ in range(100)
+        )
+
+    def test_exponential_mean(self):
+        rng = make_rng(6)
+        draws = [exponential_interarrival(10.0, rng) for _ in range(5_000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.1, rel=0.1)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = make_rng(7)
+        draws = [weighted_choice([1.0, 0.0, 3.0], rng) for _ in range(2_000)]
+        assert draws.count(1) == 0
+        assert draws.count(2) > draws.count(0)
+
+    def test_weighted_choice_validation(self):
+        rng = make_rng(8)
+        with pytest.raises(ValueError):
+            weighted_choice([], rng)
+        with pytest.raises(ValueError):
+            weighted_choice([-1.0], rng)
+        with pytest.raises(ValueError):
+            weighted_choice([0.0, 0.0], rng)

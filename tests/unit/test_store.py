@@ -1,0 +1,130 @@
+"""Unit tests for the tiered metadata store."""
+
+import pytest
+
+from repro.metadata.attributes import FileMetadata
+from repro.metadata.store import MetadataStore, StoreAccess
+
+
+def record(path: str) -> FileMetadata:
+    return FileMetadata(path=path, inode=abs(hash(path)) % 10_000)
+
+
+class TestUnbounded:
+    def test_put_get(self):
+        store = MetadataStore()
+        meta = record("/f")
+        store.put(meta)
+        assert store.get("/f") == meta
+        assert store.stats.memory_hits == 1
+
+    def test_miss(self):
+        store = MetadataStore()
+        assert store.get("/ghost") is None
+        assert store.stats.misses == 1
+
+    def test_overwrite_replaces(self):
+        store = MetadataStore()
+        store.put(record("/f"))
+        newer = FileMetadata(path="/f", inode=1, size=99)
+        store.put(newer)
+        assert store.get("/f").size == 99
+        assert len(store) == 1
+
+    def test_remove(self):
+        store = MetadataStore()
+        store.put(record("/f"))
+        assert store.remove("/f") is True
+        assert "/f" not in store
+
+    def test_remove_missing(self):
+        store = MetadataStore()
+        with pytest.raises(KeyError):
+            store.remove("/ghost")
+        assert store.remove("/ghost", missing_ok=True) is False
+
+    def test_everything_stays_in_memory(self):
+        store = MetadataStore()
+        for i in range(100):
+            store.put(record(f"/f{i}"))
+        assert store.disk_count == 0
+        assert store.memory_count == 100
+
+
+class TestTiering:
+    def test_spills_when_over_budget(self):
+        meta = record("/probe")
+        budget = meta.size_bytes() * 3
+        store = MetadataStore(memory_budget_bytes=budget)
+        for i in range(10):
+            store.put(record(f"/same/len/{i}"))
+        assert store.disk_count > 0
+        assert store.memory_bytes <= budget
+
+    def test_lru_order_spills_coldest(self):
+        meta = record("/x0")
+        store = MetadataStore(memory_budget_bytes=meta.size_bytes() * 2)
+        store.put(record("/x0"))
+        store.put(record("/x1"))
+        store.put(record("/x2"))  # /x0 is coldest -> disk
+        assert store.access_tier("/x0") is StoreAccess.DISK
+        assert store.access_tier("/x2") is StoreAccess.MEMORY
+
+    def test_disk_hit_promotes(self):
+        meta = record("/x0")
+        store = MetadataStore(memory_budget_bytes=meta.size_bytes() * 2)
+        for i in range(3):
+            store.put(record(f"/x{i}"))
+        assert store.get("/x0") is not None
+        assert store.stats.disk_hits == 1
+        assert store.access_tier("/x0") is StoreAccess.MEMORY
+
+    def test_access_tier_does_not_promote(self):
+        meta = record("/x0")
+        store = MetadataStore(memory_budget_bytes=meta.size_bytes() * 2)
+        for i in range(3):
+            store.put(record(f"/x{i}"))
+        store.access_tier("/x0")
+        assert store.access_tier("/x0") is StoreAccess.DISK
+
+    def test_shrinking_budget_spills_immediately(self):
+        store = MetadataStore()
+        for i in range(5):
+            store.put(record(f"/y{i}"))
+        store.memory_budget_bytes = record("/y0").size_bytes()
+        assert store.memory_count <= 1
+        assert store.disk_count >= 4
+
+    def test_zero_budget_spills_everything(self):
+        store = MetadataStore(memory_budget_bytes=0)
+        store.put(record("/f"))
+        assert store.memory_count == 0
+        assert store.get("/f") is not None  # still readable, from disk
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            MetadataStore(memory_budget_bytes=-1)
+
+
+class TestIterationAndStats:
+    def test_paths_and_records_cover_both_tiers(self):
+        meta = record("/z0")
+        store = MetadataStore(memory_budget_bytes=meta.size_bytes())
+        store.put(record("/z0"))
+        store.put(record("/z1"))
+        assert sorted(store.paths()) == ["/z0", "/z1"]
+        assert len(list(store.records())) == 2
+
+    def test_clear(self):
+        store = MetadataStore()
+        store.put(record("/f"))
+        store.clear()
+        assert len(store) == 0
+        assert store.memory_bytes == 0
+
+    def test_total_lookups(self):
+        store = MetadataStore()
+        store.put(record("/f"))
+        store.get("/f")
+        store.get("/ghost")
+        assert store.stats.total_lookups == 2

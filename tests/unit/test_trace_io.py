@@ -1,0 +1,66 @@
+"""Unit tests for trace serialization."""
+
+import pytest
+
+from repro.traces.io import iter_trace, read_trace, write_trace
+from repro.traces.profiles import HP_PROFILE
+from repro.traces.records import MetadataOp, TraceRecord
+from repro.traces.synthetic import generate_trace
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_records(self, tmp_path):
+        records = generate_trace(HP_PROFILE, 100, 300, seed=1)
+        path = tmp_path / "trace.tsv"
+        written = write_trace(records, path)
+        assert written == 300
+        restored = read_trace(path)
+        assert len(restored) == 300
+        for original, loaded in zip(records, restored):
+            assert loaded.op == original.op
+            assert loaded.path == original.path
+            assert loaded.uid == original.uid
+            assert loaded.host == original.host
+            assert loaded.timestamp == pytest.approx(
+                original.timestamp, abs=1e-6
+            )
+
+    def test_rename_round_trip(self, tmp_path):
+        records = [
+            TraceRecord(1.5, MetadataOp.RENAME, "/a", new_path="/b", uid=3)
+        ]
+        path = tmp_path / "t.tsv"
+        write_trace(records, path)
+        loaded = read_trace(path)[0]
+        assert loaded.op is MetadataOp.RENAME
+        assert loaded.new_path == "/b"
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text(
+            "# header\n"
+            "\n"
+            "1.000000\tstat\t/f\t0\t0\t0\n"
+        )
+        assert len(read_trace(path)) == 1
+
+    def test_iter_trace_streams(self, tmp_path):
+        records = generate_trace(HP_PROFILE, 50, 100, seed=2)
+        path = tmp_path / "t.tsv"
+        write_trace(records, path)
+        count = sum(1 for _ in iter_trace(path))
+        assert count == 100
+
+
+class TestErrors:
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tstat\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_trace(path)
+
+    def test_unknown_op(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tfrobnicate\t/f\t0\t0\t0\n")
+        with pytest.raises(ValueError, match="unknown op"):
+            read_trace(path)

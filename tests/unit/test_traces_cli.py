@@ -1,0 +1,80 @@
+"""Unit tests for the trace CLI (generate / intensify / stats)."""
+
+import pytest
+
+from repro.traces.__main__ import main
+from repro.traces.io import read_trace
+from repro.traces.workloads import compute_stats
+
+
+class TestGenerate:
+    def test_generates_requested_ops(self, tmp_path, capsys):
+        out = tmp_path / "hp.trace"
+        code = main(
+            [
+                "generate", "--profile", "HP", "--files", "200",
+                "--ops", "500", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        records = read_trace(out)
+        assert len(records) == 500
+        assert "wrote 500" in capsys.readouterr().out
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        for out in (a, b):
+            main(
+                [
+                    "generate", "--profile", "RES", "--files", "100",
+                    "--ops", "200", "--seed", "7", "--out", str(out),
+                ]
+            )
+        assert a.read_text() == b.read_text()
+
+    def test_rejects_unknown_profile(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "generate", "--profile", "NOPE",
+                    "--out", str(tmp_path / "x"),
+                ]
+            )
+
+
+class TestIntensify:
+    def test_tif_multiplies_ops(self, tmp_path, capsys):
+        base = tmp_path / "base.trace"
+        scaled = tmp_path / "scaled.trace"
+        main(
+            [
+                "generate", "--files", "100", "--ops", "300",
+                "--out", str(base),
+            ]
+        )
+        code = main(
+            ["intensify", "--tif", "3", "--in", str(base), "--out", str(scaled)]
+        )
+        assert code == 0
+        records = read_trace(scaled)
+        assert len(records) == 900
+        stats = compute_stats(records)
+        assert stats.num_subtraces == 3
+
+
+class TestStats:
+    def test_stats_reports_counts(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace"
+        main(
+            [
+                "generate", "--files", "100", "--ops", "400",
+                "--out", str(trace),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["stats", "--in", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total ops:    400" in out
+        assert "active files:" in out
+        assert "stat" in out
