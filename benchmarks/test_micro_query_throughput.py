@@ -24,8 +24,8 @@ def _config():
     )
 
 
-def _populated(cluster_class):
-    cluster = cluster_class(30, _config(), seed=9)
+def _populated(cluster_class, **kwargs):
+    cluster = cluster_class(30, _config(), seed=9, **kwargs)
     paths = [f"/tp/d{i % 11}/f{i}" for i in range(6_000)]
     cluster.populate(paths)
     cluster.synchronize_replicas(force=True)
@@ -33,8 +33,10 @@ def _populated(cluster_class):
 
 
 @pytest.fixture(scope="module")
-def ghba():
-    return _populated(GHBACluster)
+def ghba(obs_tracer):
+    # The tracer is the session-wide null tracer unless --trace-out was
+    # passed; HBA has no tracing hook, so only G-HBA is wired.
+    return _populated(GHBACluster, tracer=obs_tracer)
 
 
 @pytest.fixture(scope="module")

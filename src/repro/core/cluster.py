@@ -31,7 +31,8 @@ from repro.core.server import (
     MetadataServer,
 )
 from repro.metadata.attributes import FileMetadata
-from repro.sim.stats import Counter, LatencyRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -83,6 +84,16 @@ class GHBACluster:
         Scheme tunables; ``config.max_group_size`` is the paper's M.
     seed:
         Seed for home-MDS assignment and origin selection.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every :meth:`query`
+        opens a span recording its walk down the hierarchy.  Defaults to
+        the no-op :data:`~repro.obs.trace.NULL_TRACER`.
+    metrics:
+        Optional shared :class:`~repro.obs.registry.MetricsRegistry`; a
+        private registry is created when omitted.  All query accounting
+        (per-level counts, latency histogram, per-server/per-group load)
+        lives here — the legacy ``level_counter`` / ``latency`` /
+        ``total_messages`` attributes are read-through views.
     """
 
     def __init__(
@@ -90,6 +101,8 @@ class GHBACluster:
         num_servers: int,
         config: Optional[GHBAConfig] = None,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
@@ -100,27 +113,102 @@ class GHBACluster:
         self.servers: Dict[int, MetadataServer] = {}
         self.groups: Dict[int, Group] = {}
         self._group_of: Dict[int, int] = {}
-        # Metrics
-        self.level_counter = Counter()
-        self.latency = LatencyRecorder(seed=seed)
-        self.total_messages = 0
-        self.total_false_forwards = 0
+        # Observability: tracer + metrics registry (repro.obs).
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._register_metrics(seed)
         #: Metadata of crashed servers, as persisted on their disks —
         #: recoverable via :meth:`recover_server` (Table 1's recovery).
         self._crashed_stores: Dict[int, List[FileMetadata]] = {}
         self._bootstrap(num_servers)
 
+    def _register_metrics(self, seed: int) -> None:
+        """Register every metric family the query path increments."""
+        m = self.metrics
+        self._queries_by_level = m.counter(
+            "ghba_queries_total",
+            "Queries served, by hierarchy level.",
+            labels=("level",),
+        )
+        self._query_latency = m.histogram(
+            "ghba_query_latency_ms",
+            "End-to-end simulated query latency in milliseconds.",
+            seed=seed,
+        )
+        self._latency_child = self._query_latency.labels()
+        self._messages = m.counter(
+            "ghba_messages_total", "Network messages sent on the query path."
+        )
+        self._false_forwards_counter = m.counter(
+            "ghba_false_forwards_total",
+            "Unique Bloom hits that misrouted a query.",
+        )
+        self._server_served = m.counter(
+            "ghba_server_queries_served_total",
+            "Queries served, by home server.",
+            labels=("server",),
+        )
+        self._server_origin = m.counter(
+            "ghba_server_origin_queries_total",
+            "Queries received from clients, by origin server.",
+            labels=("server",),
+        )
+        self._server_forwards = m.counter(
+            "ghba_server_forwards_total",
+            "Verification forwards, by target server.",
+            labels=("server",),
+        )
+        self._server_false = m.counter(
+            "ghba_server_false_forwards_total",
+            "False forwards, by (falsely) targeted server.",
+            labels=("server",),
+        )
+        self._group_served = m.counter(
+            "ghba_group_queries_served_total",
+            "Queries served, by the home server's group.",
+            labels=("group",),
+        )
+        self._group_multicasts = m.counter(
+            "ghba_group_multicasts_total",
+            "L3 multicasts, by origin group.",
+            labels=("group",),
+        )
+        self._lru_hints = m.counter(
+            "ghba_lru_hints_total", "Cooperative LRU hint messages sent."
+        )
+
+    # Read-through views kept for the pre-registry API.
+    @property
+    def level_counter(self):
+        """Per-level query counts (a labeled counter family)."""
+        return self._queries_by_level
+
+    @property
+    def latency(self):
+        """Query latency histogram (mean/percentile/count compatible)."""
+        return self._latency_child
+
+    @property
+    def total_messages(self) -> int:
+        return int(self._messages.value)
+
+    @property
+    def total_false_forwards(self) -> int:
+        return int(self._false_forwards_counter.value)
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def _new_server(self) -> MetadataServer:
-        server = MetadataServer(self._next_server_id, self.config)
+        server = MetadataServer(
+            self._next_server_id, self.config, metrics=self.metrics
+        )
         self.servers[server.server_id] = server
         self._next_server_id += 1
         return server
 
     def _new_group(self) -> Group:
-        group = Group(self._next_group_id)
+        group = Group(self._next_group_id, metrics=self.metrics)
         self.groups[group.group_id] = group
         self._next_group_id += 1
         return group
@@ -290,16 +378,34 @@ class GHBACluster:
         if origin_id is None:
             origin_id = self._rng.choice(sorted(self.servers))
         origin = self.servers[origin_id]
+        span = self.tracer.start_span(path, origin_id)
         latency = net.queueing_ms(outstanding)
+        checkpoint = 0.0  # latency already attributed to a span event
         messages = 0
         false_forwards = 0
+
+        def hop(kind: str, target: Optional[int] = None, msg: int = 0, **detail) -> None:
+            """Emit a span event covering the latency since the last hop."""
+            nonlocal checkpoint
+            span.event(
+                kind,
+                target=target,
+                latency_ms=latency - checkpoint,
+                messages=msg,
+                **detail,
+            )
+            checkpoint = latency
 
         def finish(level: QueryLevel, home: Optional[int]) -> QueryResult:
             nonlocal messages
             if home is not None:
                 origin.record_lru(path, home)
                 if self.config.cooperative_lru:
-                    messages += self._share_lru_hint(origin_id, path, home)
+                    hints = self._share_lru_hint(origin_id, path, home)
+                    if hints:
+                        messages += hints
+                        self._lru_hints.inc(hints)
+                        hop("lru_hint", msg=hints)
             result = QueryResult(
                 path=path,
                 home_id=home,
@@ -309,10 +415,19 @@ class GHBACluster:
                 false_forwards=false_forwards,
                 origin_id=origin_id,
             )
-            self.level_counter.increment(level.label)
-            self.latency.record(latency)
-            self.total_messages += messages
-            self.total_false_forwards += false_forwards
+            self._queries_by_level.labels(level.label).inc()
+            self._latency_child.observe(latency)
+            if messages:
+                self._messages.inc(messages)
+            if false_forwards:
+                self._false_forwards_counter.inc(false_forwards)
+            self._server_origin.labels(origin_id).inc()
+            if home is not None:
+                self._server_served.labels(home).inc()
+                self._group_served.labels(self._group_of[home]).inc()
+            span.finish(
+                level.label, home, latency, messages, false_forwards
+            )
             return result
 
         def verify_at(server: MetadataServer) -> Optional[FileMetadata]:
@@ -331,14 +446,22 @@ class GHBACluster:
         def forward_and_verify(target_id: int) -> Optional[FileMetadata]:
             """Send the query to ``target_id`` and verify there."""
             nonlocal latency, messages
+            self._server_forwards.labels(target_id).inc()
             if target_id != origin_id:
                 latency += net.round_trip_ms() + net.queueing_ms(outstanding)
                 messages += 2
-            return verify_at(self.servers[target_id])
+                hop("forward", target=target_id, msg=2)
+            meta = verify_at(self.servers[target_id])
+            hop("verify", target=target_id, found=meta is not None)
+            if meta is None:
+                self._server_false.labels(target_id).inc()
+                hop("false_forward", target=target_id)
+            return meta
 
         # ---- L1: local LRU Bloom filter array -------------------------
         latency += net.memory_probe_ms * max(1, origin.lru.num_filters)
         l1 = origin.probe_lru(path)
+        hop("l1_probe", target=origin_id, hits=len(l1.hits))
         if l1.is_unique:
             meta = forward_and_verify(l1.unique_hit)
             if meta is not None:
@@ -351,6 +474,7 @@ class GHBACluster:
         latency += net.probe_cost_ms(origin.theta, replica_fraction)
         latency += net.memory_probe_ms  # own local filter
         l2 = origin.probe_segment(path)
+        hop("l2_probe", target=origin_id, hits=len(l2.hits))
         if l2.is_unique:
             meta = forward_and_verify(l2.unique_hit)
             if meta is not None:
@@ -370,6 +494,13 @@ class GHBACluster:
         if member_costs:
             latency += max(member_costs)
         l3 = group.multicast_query(path)
+        self._group_multicasts.labels(group.group_id).inc()
+        hop(
+            "group_multicast",
+            target=group.group_id,
+            msg=2 * (group.size - 1),
+            hits=len(l3.hits),
+        )
         if l3.is_unique:
             meta = forward_and_verify(l3.unique_hit)
             if meta is not None:
@@ -396,6 +527,11 @@ class GHBACluster:
             if server.store.get(path) is not None:
                 found_home = server.server_id
         latency += max(verify_costs)
+        hop(
+            "global_multicast",
+            msg=2 * (self.num_servers - 1),
+            found=found_home is not None,
+        )
         if found_home is not None:
             return finish(QueryLevel.L4, found_home)
         return finish(QueryLevel.NEGATIVE, None)
@@ -770,6 +906,45 @@ class GHBACluster:
     def level_fractions(self) -> Dict[str, float]:
         """Fraction of queries served per level (Figure 13)."""
         return self.level_counter.fractions()
+
+    def refresh_gauges(self) -> None:
+        """Refresh point-in-time gauges from live cluster state.
+
+        Counters update on the hot path; gauges (file counts, replica
+        loads, stale-bit backlog, structure sizes) are derived state and
+        only refreshed when an exporter or report is about to read them.
+        """
+        m = self.metrics
+        m.gauge("ghba_servers", "Metadata servers in the cluster.").set(
+            self.num_servers
+        )
+        m.gauge("ghba_groups", "Groups in the cluster.").set(self.num_groups)
+        files = m.gauge(
+            "ghba_server_files", "Files homed per server.", labels=("server",)
+        )
+        theta = m.gauge(
+            "ghba_server_theta",
+            "Replicas hosted per server (the paper's theta).",
+            labels=("server",),
+        )
+        stale = m.gauge(
+            "ghba_server_stale_bits",
+            "Stale filter bits awaiting replication, per server.",
+            labels=("server",),
+        )
+        live = [(sid,) for sid in self.servers]
+        for gauge in (files, theta, stale):
+            gauge.retain(live)
+        for sid, server in self.servers.items():
+            files.labels(sid).set(server.file_count)
+            theta.labels(sid).set(server.theta)
+            stale.labels(sid).set(server.staleness_bits())
+        size = m.gauge(
+            "ghba_group_size", "Members per group.", labels=("group",)
+        )
+        size.retain((gid,) for gid in self.groups)
+        for gid, group in self.groups.items():
+            size.labels(gid).set(group.size)
 
     def __repr__(self) -> str:
         return (

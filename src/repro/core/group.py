@@ -17,11 +17,14 @@ and a leaver's replicas are redistributed to the lightest members.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.bloom.arrays import ArrayLookup, IDBloomFilterArray
 from repro.bloom.bloom_filter import BloomFilter
 from repro.core.server import MetadataServer
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.registry import MetricsRegistry
 
 
 class GroupError(Exception):
@@ -29,12 +32,36 @@ class GroupError(Exception):
 
 
 class Group:
-    """A logical group of metadata servers."""
+    """A logical group of metadata servers.
 
-    def __init__(self, group_id: int) -> None:
+    ``metrics`` (optional, the cluster's shared registry) adds per-group
+    replica-update accounting: intra-group messages spent locating and
+    replacing replicas, and how many IDBFA candidates were false positives.
+    """
+
+    def __init__(
+        self,
+        group_id: int,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
         self.group_id = group_id
         self._members: Dict[int, MetadataServer] = {}
         self.idbfa = IDBloomFilterArray()
+        if metrics is not None:
+            self._update_messages = metrics.counter(
+                "ghba_replica_update_messages_total",
+                "Intra-group messages spent on replica updates, by group.",
+                labels=("group",),
+            ).labels(group_id)
+            self._update_false_candidates = metrics.counter(
+                "ghba_replica_update_false_candidates_total",
+                "IDBFA false-positive candidates hit during replica "
+                "updates, by group.",
+                labels=("group",),
+            ).labels(group_id)
+        else:
+            self._update_messages = None
+            self._update_false_candidates = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -136,6 +163,10 @@ class Group:
         candidates = set(lookup.hits) | {true_host}
         false_candidates = len(candidates) - 1
         self._members[true_host].replace_replica(home_id, replica)
+        if self._update_messages is not None:
+            self._update_messages.inc(len(candidates))
+            if false_candidates:
+                self._update_false_candidates.inc(false_candidates)
         # One message per contacted candidate (false ones drop it).
         return (len(candidates), false_candidates)
 

@@ -9,10 +9,38 @@ forwards) and replication freshness (staleness bits outstanding).
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
 
 from repro.core.cluster import GHBACluster
+from repro.obs.report import render_summary
+
+
+@dataclass(frozen=True)
+class HealthLimits:
+    """Thresholds for :meth:`ClusterSummary.healthy`.
+
+    Attributes
+    ----------
+    max_file_imbalance:
+        Largest tolerated ratio of the busiest server's file count to the
+        mean (only enforced once the cluster holds enough files; see
+        ``min_files_per_server``).
+    max_replica_imbalance:
+        Largest tolerated max-minus-min replica count within any group.
+    min_files_per_server:
+        The file-imbalance check only kicks in when ``total_files``
+        exceeds ``min_files_per_server * num_servers`` — tiny populations
+        are legitimately lumpy.
+    """
+
+    max_file_imbalance: float = 2.0
+    max_replica_imbalance: int = 2
+    min_files_per_server: int = 10
+
+
+#: The defaults `healthy()` used before the limits became configurable.
+DEFAULT_HEALTH_LIMITS = HealthLimits()
 
 
 @dataclass(frozen=True)
@@ -37,15 +65,31 @@ class ClusterSummary:
     stale_bits_outstanding: int
     mean_lru_hit_rate: float
 
-    def healthy(self, max_imbalance: float = 2.0) -> bool:
-        """A coarse health predicate: balanced and not misrouting wildly."""
+    def healthy(
+        self,
+        limits: Optional[Union[HealthLimits, float]] = None,
+        max_imbalance: Optional[float] = None,
+    ) -> bool:
+        """A coarse health predicate: balanced and not misrouting wildly.
+
+        ``limits`` carries every threshold (defaults to
+        :data:`DEFAULT_HEALTH_LIMITS`).  ``max_imbalance`` — and, for
+        backward compatibility, a bare float passed positionally as
+        ``limits`` — overrides ``limits.max_file_imbalance``.
+        """
+        if isinstance(limits, (int, float)) and not isinstance(limits, bool):
+            limits, max_imbalance = None, float(limits)
+        if limits is None:
+            limits = DEFAULT_HEALTH_LIMITS
+        if max_imbalance is not None:
+            limits = replace(limits, max_file_imbalance=max_imbalance)
         if self.num_servers == 0:
             return False
-        if self.file_imbalance > max_imbalance and self.total_files > (
-            10 * self.num_servers
+        if self.file_imbalance > limits.max_file_imbalance and (
+            self.total_files > limits.min_files_per_server * self.num_servers
         ):
             return False
-        if self.replica_imbalance > 2:
+        if self.replica_imbalance > limits.max_replica_imbalance:
             return False
         return True
 
@@ -94,22 +138,9 @@ def summarize(cluster: GHBACluster) -> ClusterSummary:
 
 
 def format_summary(summary: ClusterSummary) -> str:
-    """Render a summary as aligned text."""
-    lines = [
-        f"servers / groups        : {summary.num_servers} / "
-        f"{summary.num_groups} {summary.group_sizes}",
-        f"files (imbalance)       : {summary.total_files} "
-        f"(x{summary.file_imbalance:.2f})",
-        f"theta (replica imbal.)  : {summary.mean_theta:.2f} "
-        f"({summary.replica_imbalance})",
-        f"bloom bytes per server  : {summary.bloom_bytes_per_server:.0f}",
-        f"queries (mean/p95 ms)   : {summary.total_queries} "
-        f"({summary.mean_latency_ms:.3f} / {summary.p95_latency_ms:.3f})",
-        f"messages / false fwds   : {summary.total_messages} / "
-        f"{summary.false_forwards}",
-        f"stale bits outstanding  : {summary.stale_bits_outstanding}",
-        f"mean LRU hit rate       : {summary.mean_lru_hit_rate:.3f}",
-    ]
-    for level, fraction in sorted(summary.level_fractions.items()):
-        lines.append(f"served at {level:<13} : {fraction * 100:.1f}%")
-    return "\n".join(lines)
+    """Render a summary as aligned text.
+
+    Thin wrapper over :func:`repro.obs.report.render_summary`, which owns
+    the dashboard rendering (see ``python -m repro.obs report``).
+    """
+    return render_summary(summary)

@@ -22,11 +22,16 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from typing import TYPE_CHECKING
+
 from repro.bloom.arrays import ArrayLookup, BloomFilterArray, LRUBloomFilterArray
 from repro.bloom.bloom_filter import BloomFilter
 from repro.core.config import GHBAConfig
 from repro.metadata.attributes import FileMetadata
 from repro.metadata.store import MetadataStore
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.registry import MetricsRegistry
 from repro.sim.memory import (
     MemoryModel,
     PRIORITY_METADATA,
@@ -42,13 +47,38 @@ CONSUMER_METADATA = "metadata"
 
 
 class MetadataServer:
-    """One MDS identified by an integer ID."""
+    """One MDS identified by an integer ID.
 
-    def __init__(self, server_id: int, config: GHBAConfig) -> None:
+    ``metrics`` (optional) is the cluster's shared
+    :class:`~repro.obs.registry.MetricsRegistry`; when provided, the server
+    counts its own L1/L2 probe load into
+    ``ghba_server_probes_total{server,level}`` — the raw signal behind the
+    hotspot view's per-server attribution.  Without a registry the probe
+    path stays completely uninstrumented.
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        config: GHBAConfig,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
         if server_id < 0:
             raise ValueError(f"server_id must be non-negative, got {server_id}")
         self.server_id = server_id
         self.config = config
+        if metrics is not None:
+            probes = metrics.counter(
+                "ghba_server_probes_total",
+                "Bloom probes answered, by server and level.",
+                labels=("server", "level"),
+            )
+            # Children bound once so the probe hot path is a plain inc().
+            self._l1_probe_counter = probes.labels(server_id, "l1")
+            self._l2_probe_counter = probes.labels(server_id, "l2")
+        else:
+            self._l1_probe_counter = None
+            self._l2_probe_counter = None
         self.store = MetadataStore(memory_budget_bytes=None)
         self.local_filter = BloomFilter(
             config.filter_num_bits, config.filter_num_hashes, config.seed
@@ -162,10 +192,14 @@ class MetadataServer:
     # ------------------------------------------------------------------
     def probe_lru(self, path: str) -> ArrayLookup:
         """L1 probe."""
+        if self._l1_probe_counter is not None:
+            self._l1_probe_counter.inc()
         return self.lru.query(path)
 
     def probe_segment(self, path: str) -> ArrayLookup:
         """L2 probe: the local filter plus every replica assigned here."""
+        if self._l2_probe_counter is not None:
+            self._l2_probe_counter.inc()
         lookup = self.segment.query(path)
         hits = list(lookup.hits)
         if self.local_filter.query(path):

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
-from typing import Dict
+from typing import Dict, Sequence
 
 #: name -> (module, one-line description)
 REGISTRY: Dict[str, str] = {
@@ -43,10 +44,20 @@ REGISTRY: Dict[str, str] = {
 }
 
 
-def run_experiment(name: str) -> None:
+def run_experiment(name: str, extra: Sequence[str] = ()) -> None:
     module = importlib.import_module(f"repro.experiments.{name}")
-    print(f"=== {name}: {REGISTRY[name]} ===")
-    module.main()
+    # Experiments whose main() takes an argv receive pass-through options
+    # (e.g. --trace-out); zero-argument mains accept none.
+    if not inspect.signature(module.main).parameters:
+        if extra:
+            raise SystemExit(
+                f"{name} takes no extra options (got {' '.join(extra)})"
+            )
+        print(f"=== {name}: {REGISTRY[name]} ===")
+        module.main()
+    else:
+        print(f"=== {name}: {REGISTRY[name]} ===")
+        module.main(list(extra))
     print()
 
 
@@ -58,7 +69,7 @@ def main(argv=None) -> int:
         "experiment",
         help="experiment name, 'list' or 'all'",
     )
-    args = parser.parse_args(argv)
+    args, extra = parser.parse_known_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in REGISTRY)
         for name, description in REGISTRY.items():
@@ -75,7 +86,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    run_experiment(args.experiment)
+    run_experiment(args.experiment, extra)
     return 0
 
 

@@ -1,9 +1,21 @@
-"""Shared experiment plumbing: result containers and table rendering."""
+"""Shared experiment plumbing: result containers, table rendering, tracing.
+
+Experiments that replay queries against a live cluster accept an opt-in
+``--trace-out PATH`` flag: when given, every query runs under a
+:class:`~repro.obs.trace.CollectingTracer` and the finished spans are
+written as JSONL (see :mod:`repro.obs.export`).  The three helpers at the
+bottom — :func:`add_trace_out_argument`, :func:`tracer_for`,
+:func:`finish_trace` — keep that wiring identical across experiment CLIs.
+"""
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.trace import NULL_TRACER, CollectingTracer, Tracer
+from repro.obs.export import write_spans_jsonl
 
 
 @dataclass
@@ -65,3 +77,36 @@ def format_table(rows: Sequence[Dict[str, Any]], float_digits: int = 3) -> str:
     ]
     lines.insert(1, "-" * len(lines[0]))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Opt-in query tracing (--trace-out)
+# ----------------------------------------------------------------------
+def add_trace_out_argument(parser: argparse.ArgumentParser) -> None:
+    """Register the shared ``--trace-out PATH`` option on ``parser``."""
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSONL span log of every query in the run "
+            "(one JSON object per lookup; see repro.obs)"
+        ),
+    )
+
+
+def tracer_for(trace_out: Optional[str]) -> Tracer:
+    """A collecting tracer when tracing was requested, else the null tracer."""
+    return CollectingTracer() if trace_out else NULL_TRACER
+
+
+def finish_trace(tracer: Tracer, trace_out: Optional[str]) -> int:
+    """Write collected spans to ``trace_out`` (no-op without a path).
+
+    Returns the number of spans written.
+    """
+    if not trace_out or not isinstance(tracer, CollectingTracer):
+        return 0
+    written = write_spans_jsonl(tracer.finished_spans(), trace_out)
+    print(f"wrote {written} spans to {trace_out}")
+    return written

@@ -19,13 +19,20 @@ We measure the same thing on a live cluster:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import argparse
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.cluster import GHBACluster
 from repro.core.config import GHBAConfig
 from repro.core.optimal import TRACE_MODELS, optimal_group_size
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    add_trace_out_argument,
+    finish_trace,
+    tracer_for,
+)
 from repro.metadata.attributes import FileMetadata
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.sim.rng import make_rng
 from repro.traces.profiles import PROFILES
 from repro.traces.synthetic import SyntheticTraceGenerator
@@ -39,6 +46,7 @@ def run_one(
     churn_interval: int = 400,
     churn_query_fraction: float = 0.04,
     seed: int = 0,
+    tracer: Tracer = NULL_TRACER,
 ) -> Dict[str, float]:
     """Measure per-level service fractions for one system size."""
     group_size = optimal_group_size(
@@ -53,7 +61,7 @@ def run_one(
         update_threshold_bits=256,
         seed=seed,
     )
-    cluster = GHBACluster(num_servers, config, seed=seed)
+    cluster = GHBACluster(num_servers, config, seed=seed, tracer=tracer)
     generator = SyntheticTraceGenerator(profile, num_files, seed=seed)
     placement = cluster.populate(generator.paths)
     cluster.synchronize_replicas(force=True)
@@ -100,6 +108,7 @@ def run(
     num_files: int = 1_000,
     num_ops: int = 24_000,
     seed: int = 0,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExperimentResult:
     """Regenerate Figure 13's per-level service percentages."""
     result = ExperimentResult(
@@ -119,6 +128,7 @@ def run(
             num_files=num_files,
             num_ops=num_ops,
             seed=seed,
+            tracer=tracer,
         )
         row["l1_plus_l2"] = row["l1"] + row["l2"]
         row["within_group"] = row["l1"] + row["l2"] + row["l3"]
@@ -126,8 +136,13 @@ def run(
     return result
 
 
-def main() -> None:
-    print(run().format())
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_trace_out_argument(parser)
+    args = parser.parse_args(argv)
+    tracer = tracer_for(args.trace_out)
+    print(run(tracer=tracer).format())
+    finish_trace(tracer, args.trace_out)
 
 
 if __name__ == "__main__":

@@ -13,10 +13,17 @@ HBA's full-array probes (partially spilled to disk) queue up.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import argparse
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import GHBAConfig
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    add_trace_out_argument,
+    finish_trace,
+    tracer_for,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.prototype.cluster import PrototypeCluster
 from repro.sim.stats import SeriesRecorder
 from repro.traces.profiles import PROFILES
@@ -33,6 +40,7 @@ def run_one(
     memory_fraction: float = 0.6,
     windows: int = 8,
     seed: int = 0,
+    tracer: Tracer = NULL_TRACER,
 ) -> List[Dict[str, object]]:
     """Replay an HP-shaped query stream against one prototype scheme.
 
@@ -53,7 +61,9 @@ def run_one(
         seed=seed,
     )
     rows: List[Dict[str, object]] = []
-    with PrototypeCluster(num_nodes, config, scheme=scheme, seed=seed) as proto:
+    with PrototypeCluster(
+        num_nodes, config, scheme=scheme, seed=seed, tracer=tracer
+    ) as proto:
         placement = proto.populate(generator.paths)
         # Anchor the budget to the *measured* HBA working set — the same
         # physical memory for both schemes, as on the paper's testbed.
@@ -100,6 +110,7 @@ def run(
     num_ops: int = 4_000,
     memory_fraction: float = 0.6,
     seed: int = 0,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExperimentResult:
     """Regenerate Figure 14: prototype latency series for both schemes.
 
@@ -127,6 +138,7 @@ def run(
                 num_ops=num_ops,
                 memory_fraction=memory_fraction,
                 seed=seed,
+                tracer=tracer,
             )
         )
     return result
@@ -143,14 +155,19 @@ def improvement_at_heaviest_load(result: ExperimentResult) -> float:
     return (hba_last - ghba_last) / hba_last
 
 
-def main() -> None:
-    result = run()
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_trace_out_argument(parser)
+    args = parser.parse_args(argv)
+    tracer = tracer_for(args.trace_out)
+    result = run(tracer=tracer)
     print(result.format())
     print(
         "\nG-HBA latency reduction at heaviest load: "
         f"{improvement_at_heaviest_load(result) * 100:.1f}% "
         "(paper: up to 31.2%)"
     )
+    finish_trace(tracer, args.trace_out)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,78 @@
+"""repro.obs — observability for the G-HBA stack.
+
+Four layers, composable and individually optional:
+
+- :mod:`repro.obs.trace` — per-query spans walking the L1-L4 hierarchy,
+  behind a zero-overhead-when-disabled :class:`~repro.obs.trace.Tracer`
+  protocol (:data:`~repro.obs.trace.NULL_TRACER` by default).
+- :mod:`repro.obs.registry` — named counters, gauges and streaming
+  histograms with per-server / per-group labels.
+- :mod:`repro.obs.export` — JSONL span logs, Prometheus text exposition,
+  and periodic snapshots driven by the discrete-event engine.
+- :mod:`repro.obs.report` — the operator dashboard and hotspot ranking
+  (``python -m repro.obs report``).
+"""
+
+from repro.obs.export import (
+    SnapshotSeries,
+    prometheus_exposition,
+    read_spans_jsonl,
+    schedule_metrics_snapshots,
+    span_to_dict,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    GroupHotspot,
+    ServerHotspot,
+    group_hotspots,
+    hotspot_report,
+    render_report,
+    render_summary,
+    server_hotspots,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    CollectingTracer,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "CollectingTracer",
+    "CounterFamily",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "GaugeFamily",
+    "GroupHotspot",
+    "HistogramFamily",
+    "MetricError",
+    "MetricsRegistry",
+    "NullTracer",
+    "ServerHotspot",
+    "SnapshotSeries",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "group_hotspots",
+    "hotspot_report",
+    "prometheus_exposition",
+    "read_spans_jsonl",
+    "render_report",
+    "render_summary",
+    "schedule_metrics_snapshots",
+    "server_hotspots",
+    "span_to_dict",
+    "write_prometheus",
+    "write_spans_jsonl",
+]

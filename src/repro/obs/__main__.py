@@ -1,0 +1,118 @@
+"""CLI for the observability layer.
+
+Usage::
+
+    python -m repro.obs report                       # live demo dashboard
+    python -m repro.obs report --servers 30 --ops 4000 \\
+        --trace-out spans.jsonl --prom-out metrics.prom
+
+``report`` spins up a G-HBA cluster, replays a mixed workload with
+tracing enabled, and renders the operator dashboard (health summary +
+hotspot ranking).  ``--trace-out`` writes the raw span stream as JSONL;
+``--prom-out`` writes a Prometheus text-exposition snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.export import write_prometheus, write_spans_jsonl
+from repro.obs.report import render_report
+from repro.obs.trace import CollectingTracer
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _build_cluster(args, tracer):
+    """A populated demo cluster with a Zipf-ish mixed workload applied."""
+    # Imported here so `repro.obs` stays importable without `repro.core`
+    # fully loaded (and to keep module import light for library users).
+    from repro.core.cluster import GHBACluster
+    from repro.core.config import GHBAConfig
+    from repro.metadata.attributes import FileMetadata
+    from repro.sim.rng import make_rng
+
+    config = GHBAConfig(
+        max_group_size=args.group_size,
+        expected_files_per_mds=max(256, args.files * 3 // args.servers),
+        lru_capacity=max(256, args.files // 4),
+        lru_filter_bits=1 << 12,
+        seed=args.seed,
+    )
+    cluster = GHBACluster(args.servers, config, seed=args.seed, tracer=tracer)
+    paths = [f"/obs/dir{i % 16}/file{i}" for i in range(args.files)]
+    placement = cluster.populate(paths)
+    cluster.synchronize_replicas(force=True)
+    rng = make_rng(args.seed ^ 0x0B5)
+    known = list(placement)
+    inode = len(known)
+    for index in range(args.ops):
+        roll = rng.random()
+        if roll < 0.04:
+            # Churn: create a file whose replicas stay stale for a while.
+            path = f"/obs/churn/{index}"
+            cluster.insert_file(FileMetadata(path=path, inode=inode))
+            inode += 1
+            known.append(path)
+        elif roll < 0.08:
+            cluster.query(f"/obs/missing/{index}")  # negative lookup
+        else:
+            # Zipf-ish skew: favor a hot prefix of the namespace.
+            limit = max(1, int(len(known) * (0.1 if roll < 0.6 else 1.0)))
+            cluster.query(known[rng.randrange(limit)])
+    cluster.synchronize_replicas()
+    return cluster
+
+
+def _cmd_report(args) -> int:
+    # Fail on unwritable output paths before the (possibly long) workload.
+    for out_path in (args.trace_out, args.prom_out):
+        if out_path:
+            try:
+                with open(out_path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"error: cannot write {out_path}: {exc}")
+                return 2
+    tracer = CollectingTracer()
+    cluster = _build_cluster(args, tracer)
+    print(render_report(cluster, top=args.top))
+    if args.trace_out:
+        written = write_spans_jsonl(tracer.finished_spans(), args.trace_out)
+        print(f"\nwrote {written} spans to {args.trace_out}")
+    if args.prom_out:
+        size = write_prometheus(cluster.metrics, args.prom_out)
+        print(f"wrote {size} bytes of Prometheus exposition to {args.prom_out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser(
+        "report", help="run a demo workload and render the dashboard"
+    )
+    report.add_argument("--servers", type=_positive_int, default=20)
+    report.add_argument("--group-size", type=_positive_int, default=5)
+    report.add_argument("--files", type=_positive_int, default=2_000)
+    report.add_argument("--ops", type=_positive_int, default=3_000)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--top", type=_positive_int, default=5)
+    report.add_argument("--trace-out", default=None, metavar="FILE.jsonl")
+    report.add_argument("--prom-out", default=None, metavar="FILE.prom")
+    report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""Operator surface: dashboard-style text reports and hotspot ranking.
+
+:func:`render_summary` renders a :class:`~repro.core.metrics.ClusterSummary`
+(the old ``format_summary``, which is now a thin wrapper over this).
+:func:`hotspot_report` ranks servers and groups by query share,
+false-forward rate and stale-bit backlog — the "where is it hot" view a
+G-HBA operator reads before rebalancing.  :func:`render_report` combines
+both into the full dashboard shown by ``python -m repro.obs report``.
+
+Everything here works off the cluster's metrics registry and public
+introspection surface; there are no module-level imports from
+``repro.core``, so ``repro.core.metrics`` can import this module freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.cluster import GHBACluster
+    from repro.core.metrics import ClusterSummary
+
+
+def render_summary(summary: "ClusterSummary") -> str:
+    """Render a cluster health summary as aligned text."""
+    lines = [
+        f"servers / groups        : {summary.num_servers} / "
+        f"{summary.num_groups} {summary.group_sizes}",
+        f"files (imbalance)       : {summary.total_files} "
+        f"(x{summary.file_imbalance:.2f})",
+        f"theta (replica imbal.)  : {summary.mean_theta:.2f} "
+        f"({summary.replica_imbalance})",
+        f"bloom bytes per server  : {summary.bloom_bytes_per_server:.0f}",
+        f"queries (mean/p95 ms)   : {summary.total_queries} "
+        f"({summary.mean_latency_ms:.3f} / {summary.p95_latency_ms:.3f})",
+        f"messages / false fwds   : {summary.total_messages} / "
+        f"{summary.false_forwards}",
+        f"stale bits outstanding  : {summary.stale_bits_outstanding}",
+        f"mean LRU hit rate       : {summary.mean_lru_hit_rate:.3f}",
+    ]
+    for level, fraction in sorted(summary.level_fractions.items()):
+        lines.append(f"served at {level:<13} : {fraction * 100:.1f}%")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ServerHotspot:
+    """Ranked per-server load attribution."""
+
+    server_id: int
+    queries_served: int
+    query_share: float
+    forwards: int
+    false_forwards: int
+    false_forward_rate: float
+    stale_bits: int
+    files: int
+    theta: int
+
+
+@dataclass(frozen=True)
+class GroupHotspot:
+    """Ranked per-group load attribution."""
+
+    group_id: int
+    size: int
+    queries_served: int
+    query_share: float
+    multicasts: int
+    stale_bits: int
+
+
+def _counter_value(cluster: "GHBACluster", name: str, *labels: object) -> float:
+    family = cluster.metrics.get(name)
+    if family is None:
+        return 0.0
+    return family.get(*labels)  # type: ignore[union-attr]
+
+
+def server_hotspots(cluster: "GHBACluster") -> List[ServerHotspot]:
+    """Per-server attribution, hottest (most queries served) first."""
+    total_served = sum(
+        _counter_value(cluster, "ghba_server_queries_served_total", sid)
+        for sid in cluster.servers
+    )
+    rows: List[ServerHotspot] = []
+    for sid, server in cluster.servers.items():
+        served = _counter_value(
+            cluster, "ghba_server_queries_served_total", sid
+        )
+        forwards = _counter_value(cluster, "ghba_server_forwards_total", sid)
+        false_forwards = _counter_value(
+            cluster, "ghba_server_false_forwards_total", sid
+        )
+        rows.append(
+            ServerHotspot(
+                server_id=sid,
+                queries_served=int(served),
+                query_share=served / total_served if total_served else 0.0,
+                forwards=int(forwards),
+                false_forwards=int(false_forwards),
+                false_forward_rate=(
+                    false_forwards / forwards if forwards else 0.0
+                ),
+                stale_bits=server.staleness_bits(),
+                files=server.file_count,
+                theta=server.theta,
+            )
+        )
+    rows.sort(
+        key=lambda r: (-r.queries_served, -r.false_forwards, r.server_id)
+    )
+    return rows
+
+
+def group_hotspots(cluster: "GHBACluster") -> List[GroupHotspot]:
+    """Per-group attribution, hottest first."""
+    total_served = sum(
+        _counter_value(cluster, "ghba_group_queries_served_total", gid)
+        for gid in cluster.groups
+    )
+    rows: List[GroupHotspot] = []
+    for gid, group in cluster.groups.items():
+        served = _counter_value(
+            cluster, "ghba_group_queries_served_total", gid
+        )
+        multicasts = _counter_value(
+            cluster, "ghba_group_multicasts_total", gid
+        )
+        rows.append(
+            GroupHotspot(
+                group_id=gid,
+                size=group.size,
+                queries_served=int(served),
+                query_share=served / total_served if total_served else 0.0,
+                multicasts=int(multicasts),
+                stale_bits=sum(
+                    member.staleness_bits() for member in group.members()
+                ),
+            )
+        )
+    rows.sort(key=lambda r: (-r.queries_served, -r.multicasts, r.group_id))
+    return rows
+
+
+def hotspot_report(cluster: "GHBACluster", top: int = 5) -> str:
+    """Rank servers and groups by query share / misrouting / staleness."""
+    lines = [f"-- hotspots: servers (top {top} by query share) --"]
+    lines.append(
+        "server  served  share%  fwd   ff  ff-rate%  stale-bits  files  theta"
+    )
+    for row in server_hotspots(cluster)[:top]:
+        lines.append(
+            f"{row.server_id:>6}  {row.queries_served:>6}  "
+            f"{row.query_share * 100:>6.1f}  {row.forwards:>4}  "
+            f"{row.false_forwards:>3}  {row.false_forward_rate * 100:>8.1f}  "
+            f"{row.stale_bits:>10}  {row.files:>5}  {row.theta:>5}"
+        )
+    lines.append("")
+    lines.append(f"-- hotspots: groups (top {top} by query share) --")
+    lines.append("group  size  served  share%  multicasts  stale-bits")
+    for row in group_hotspots(cluster)[:top]:
+        lines.append(
+            f"{row.group_id:>5}  {row.size:>4}  {row.queries_served:>6}  "
+            f"{row.query_share * 100:>6.1f}  {row.multicasts:>10}  "
+            f"{row.stale_bits:>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(cluster: "GHBACluster", top: int = 5) -> str:
+    """The full dashboard: health summary plus hotspot ranking."""
+    from repro.core.metrics import summarize  # lazy: avoids import cycle
+
+    refresh = getattr(cluster, "refresh_gauges", None)
+    if callable(refresh):
+        refresh()
+    sections = [
+        "== G-HBA cluster observability report ==",
+        "",
+        "-- health summary --",
+        render_summary(summarize(cluster)),
+        "",
+        hotspot_report(cluster, top=top),
+    ]
+    return "\n".join(sections)

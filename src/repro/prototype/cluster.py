@@ -19,6 +19,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.config import GHBAConfig
 from repro.core.query import QueryLevel
 from repro.metadata.attributes import FileMetadata
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.prototype.messages import Message, MessageKind
 from repro.prototype.node import MDSNode
 from repro.prototype.transport import InProcessTransport
@@ -55,6 +57,12 @@ class PrototypeCluster:
         ``"ghba"`` or ``"hba"``.
     seed:
         Seed for origin selection and placement.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; each :meth:`lookup`
+        opens a span over the real request/reply protocol hops.
+    metrics:
+        Optional shared :class:`~repro.obs.registry.MetricsRegistry` for
+        per-level lookup counts, lookup latency and wire message totals.
     """
 
     def __init__(
@@ -63,6 +71,8 @@ class PrototypeCluster:
         config: Optional[GHBAConfig] = None,
         scheme: str = "ghba",
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -71,6 +81,18 @@ class PrototypeCluster:
         self.config = config or GHBAConfig()
         self.scheme = scheme
         self.transport = InProcessTransport()
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lookups_by_level = self.metrics.counter(
+            "proto_lookups_total",
+            "Prototype lookups resolved, by hierarchy level.",
+            labels=("level",),
+        )
+        self._lookup_latency = self.metrics.histogram(
+            "proto_lookup_latency_ms",
+            "Prototype lookup virtual latency in milliseconds.",
+            seed=seed,
+        ).labels()
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.nodes: Dict[int, MDSNode] = {}
@@ -222,7 +244,22 @@ class PrototypeCluster:
         if origin_id is None:
             with self._lock:
                 origin_id = self._rng.choice(sorted(self.nodes))
+        span = self.tracer.start_span(path, origin_id)
         t = vtime + net.unicast_ms / 1000.0
+        checkpoint_ms = 0.0
+
+        def hop(kind: str, target: Optional[int] = None, msg: int = 0, **detail) -> None:
+            """Span event covering the virtual latency since the last hop."""
+            nonlocal checkpoint_ms
+            elapsed_ms = (t - vtime) * 1000.0
+            span.event(
+                kind,
+                target=target,
+                latency_ms=elapsed_ms - checkpoint_ms,
+                messages=msg,
+                **detail,
+            )
+            checkpoint_ms = elapsed_ms
 
         def request(dest: int, kind: MessageKind, arrival: float, **payload) -> Message:
             message = Message(
@@ -234,6 +271,16 @@ class PrototypeCluster:
             reply = request(target, MessageKind.VERIFY, arrival, path=path)
             finish = reply.payload["finish_vtime"]
             return (reply.payload["found"], finish + net.unicast_ms / 1000.0)
+
+        def verify_hop(target: int) -> bool:
+            """Forward to ``target`` for verification, tracing the hops."""
+            nonlocal t
+            hop("forward", target=target, msg=2)
+            found, t = verify(target, t + net.unicast_ms / 1000.0)
+            hop("verify", target=target, found=found)
+            if not found:
+                hop("false_forward", target=target)
+            return found
 
         def record_and_finish(
             level: QueryLevel, home: Optional[int], t_done: float
@@ -248,11 +295,20 @@ class PrototypeCluster:
                         arrival_vtime=t_done,
                     ),
                 )
+            latency_ms = (t_done - vtime) * 1000.0
+            self._lookups_by_level.labels(level.label).inc()
+            self._lookup_latency.observe(latency_ms)
+            span.finish(
+                level.label,
+                home,
+                latency_ms,
+                span.total_event_messages(),
+            )
             return LookupOutcome(
                 path=path,
                 home_id=home,
                 level=level,
-                virtual_latency_ms=(t_done - vtime) * 1000.0,
+                virtual_latency_ms=latency_ms,
                 origin_id=origin_id,
             )
 
@@ -261,9 +317,9 @@ class PrototypeCluster:
         t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
         l1_hits = reply.payload["l1_hits"]
         l2_hits = reply.payload["l2_hits"]
+        hop("l1_probe", target=origin_id, msg=2, hits=len(l1_hits))
         if len(l1_hits) == 1:
-            found, t = verify(l1_hits[0], t + net.unicast_ms / 1000.0)
-            if found:
+            if verify_hop(l1_hits[0]):
                 return record_and_finish(QueryLevel.L1, l1_hits[0], t)
             # Stale L1 entry: fall back to a separate L2 probe.
             reply = request(
@@ -274,9 +330,13 @@ class PrototypeCluster:
             )
             t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
             l2_hits = reply.payload["hits"]
+        hop(
+            "l2_probe",
+            target=origin_id,
+            hits=len(l2_hits) if l2_hits is not None else 0,
+        )
         if l2_hits is not None and len(l2_hits) == 1:
-            found, t = verify(l2_hits[0], t + net.unicast_ms / 1000.0)
-            if found:
+            if verify_hop(l2_hits[0]):
                 return record_and_finish(QueryLevel.L2, l2_hits[0], t)
 
         # L3: multicast within the origin's group (G-HBA only).
@@ -300,10 +360,15 @@ class PrototypeCluster:
                     hits.update(reply.payload["hits"])
                     finish = max(finish, reply.payload["finish_vtime"])
                 t = finish + net.unicast_ms / 1000.0
+                hop(
+                    "group_multicast",
+                    target=group_id,
+                    msg=2 * len(members),
+                    hits=len(hits),
+                )
                 if len(hits) == 1:
                     target = next(iter(hits))
-                    found, t = verify(target, t + net.unicast_ms / 1000.0)
-                    if found:
+                    if verify_hop(target):
                         return record_and_finish(QueryLevel.L3, target, t)
 
         # L4: global multicast — every node verifies locally.
@@ -332,6 +397,11 @@ class PrototypeCluster:
         if origin_reply.payload["found"]:
             home = origin_id
         t = finish + net.unicast_ms / 1000.0
+        hop(
+            "global_multicast",
+            msg=2 * (len(others) + 1),
+            found=home is not None,
+        )
         if home is not None:
             return record_and_finish(QueryLevel.L4, home, t)
         return record_and_finish(QueryLevel.NEGATIVE, None, t)

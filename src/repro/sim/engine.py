@@ -32,14 +32,32 @@ class Event:
 
 
 class Simulator:
-    """Heap-based discrete-event scheduler with virtual time in seconds."""
+    """Heap-based discrete-event scheduler with virtual time in seconds.
 
-    def __init__(self) -> None:
+    ``metrics`` (optional, a :class:`repro.obs.registry.MetricsRegistry`)
+    instruments the engine itself: processed-event count and virtual time
+    become exportable series, and :func:`repro.obs.export.schedule_metrics_snapshots`
+    can turn any registry into a periodic time series on this engine.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._now = 0.0
         self._seq = itertools.count()
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._cancelled: set = set()
         self._processed = 0
+        if metrics is not None:
+            self._events_counter = metrics.counter(
+                "sim_events_processed_total",
+                "Events executed by the discrete-event engine.",
+            )
+            self._vtime_gauge = metrics.gauge(
+                "sim_virtual_time_seconds",
+                "Current virtual time of the engine.",
+            )
+        else:
+            self._events_counter = None
+            self._vtime_gauge = None
 
     @property
     def now(self) -> float:
@@ -121,6 +139,9 @@ class Simulator:
                 continue
             self._now = time
             self._processed += 1
+            if self._events_counter is not None:
+                self._events_counter.inc()
+                self._vtime_gauge.set(time)
             callback()
             return True
         return False

@@ -59,3 +59,11 @@ class TestExamples:
         assert "health summary" in out
         assert "after recovery" in out and "found=True" in out
         assert "restored cluster resolves" in out
+
+    def test_observability_tour(self):
+        out = run_example("observability_tour.py")
+        assert "traced" in out and "queries" in out
+        assert "deepest walk" in out
+        assert "hotspots: servers" in out
+        assert "# TYPE ghba_queries_total counter" in out
+        assert "ghba_messages_total series" in out

@@ -79,6 +79,41 @@ class TestLatencyRecorder:
         assert recorder.mean == 0.0
         assert recorder.percentile(50) == 0.0
 
+    def test_empty_recorder_extreme_percentiles(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(0) == 0.0
+        assert recorder.percentile(100) == 0.0
+
+    def test_extreme_percentiles_exact_beyond_reservoir(self):
+        # The reservoir keeps only 4 of 1000 samples, yet p=0/p=100 must
+        # return the exact streamed extremes, not reservoir endpoints.
+        recorder = LatencyRecorder(reservoir_size=4, seed=1)
+        for value in range(1, 1001):
+            recorder.record(float(value))
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 1000.0
+
+    def test_percentile_exact_while_reservoir_unsaturated(self):
+        recorder = LatencyRecorder(reservoir_size=100)
+        for value in (10.0, 20.0, 30.0, 40.0, 50.0):
+            recorder.record(value)
+        assert recorder.percentile(50) == 30.0
+        assert recorder.percentile(25) == 20.0
+
+    def test_percentile_out_of_range_rejected(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(-0.1)
+        with pytest.raises(ValueError):
+            recorder.percentile(100.1)
+
+    def test_single_sample_all_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record(7.5)
+        for p in (0, 1, 50, 99, 100):
+            assert recorder.percentile(p) == 7.5
+
 
 class TestSeriesRecorder:
     def test_windows_average(self):
