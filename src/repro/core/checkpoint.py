@@ -94,27 +94,44 @@ def _decode_record(data: Dict[str, Any]) -> FileMetadata:
     )
 
 
+def snapshot_server(server: MetadataServer) -> Dict[str, Any]:
+    """Serialize one server's durable state (its "disk" contents).
+
+    Shared by the whole-cluster :func:`snapshot` and the prototype's
+    node crash/restore machinery: a crashed node's metadata, filters and
+    hosted replicas survive on disk and come back via
+    :func:`restore_server`.
+    """
+    return {
+        "server_id": server.server_id,
+        "records": [_encode_record(meta) for meta in server.store.records()],
+        "local_filter": _encode_filter(server.local_filter),
+        "published_filter": _encode_filter(server.published_filter),
+        "replicas": {
+            str(home_id): _encode_filter(server.segment.get_replica(home_id))
+            for home_id in server.hosted_replicas()
+        },
+    }
+
+
+def restore_server(entry: Dict[str, Any], config: GHBAConfig) -> MetadataServer:
+    """Reconstruct one server from a :func:`snapshot_server` document."""
+    server = MetadataServer(entry["server_id"], config)
+    server.insert_many([_decode_record(record) for record in entry["records"]])
+    server.local_filter = _decode_filter(entry["local_filter"])
+    server.published_filter = _decode_filter(entry["published_filter"])
+    for home_id, payload in entry["replicas"].items():
+        server.host_replica(int(home_id), _decode_filter(payload))
+    server._refresh_memory_accounting()
+    return server
+
+
 def snapshot(cluster: GHBACluster) -> Dict[str, Any]:
     """Serialize the cluster's durable state to a JSON-safe document."""
-    servers = []
-    for server_id in cluster.server_ids():
-        server = cluster.servers[server_id]
-        servers.append(
-            {
-                "server_id": server_id,
-                "records": [
-                    _encode_record(meta) for meta in server.store.records()
-                ],
-                "local_filter": _encode_filter(server.local_filter),
-                "published_filter": _encode_filter(server.published_filter),
-                "replicas": {
-                    str(home_id): _encode_filter(
-                        server.segment.get_replica(home_id)
-                    )
-                    for home_id in server.hosted_replicas()
-                },
-            }
-        )
+    servers = [
+        snapshot_server(cluster.servers[server_id])
+        for server_id in cluster.server_ids()
+    ]
     groups = [
         {
             "group_id": group.group_id,
@@ -158,15 +175,7 @@ def restore(document: Dict[str, Any], seed: int = 0) -> GHBACluster:
     cluster._next_group_id = document["next_group_id"]
 
     for entry in document["servers"]:
-        server = MetadataServer(entry["server_id"], config)
-        server.insert_many(
-            [_decode_record(record) for record in entry["records"]]
-        )
-        server.local_filter = _decode_filter(entry["local_filter"])
-        server.published_filter = _decode_filter(entry["published_filter"])
-        for home_id, payload in entry["replicas"].items():
-            server.host_replica(int(home_id), _decode_filter(payload))
-        server._refresh_memory_accounting()
+        server = restore_server(entry, config)
         cluster.servers[server.server_id] = server
 
     for entry in document["groups"]:

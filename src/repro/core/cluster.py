@@ -26,6 +26,7 @@ from repro.bloom.compressed import transfer_cost_report
 from repro.core.config import GHBAConfig
 from repro.core.group import Group, GroupError
 from repro.core.query import QueryLevel, QueryResult
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.core.server import (
     CONSUMER_METADATA,
     MetadataServer,
@@ -94,6 +95,13 @@ class GHBACluster:
         (per-level counts, latency histogram, per-server/per-group load)
         lives here — the legacy ``level_counter`` / ``latency`` /
         ``total_messages`` attributes are read-through views.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`; the query
+        path asks it which multicast legs are lost and degrades (L3
+        escalates to L4; incomplete L4 may resolve NEGATIVE) instead of
+        misrouting.  Defaults to the no-op
+        :data:`~repro.faults.injector.NULL_INJECTOR`, which keeps the
+        fault-free path bit-identical.
     """
 
     def __init__(
@@ -103,10 +111,12 @@ class GHBACluster:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if num_servers < 1:
             raise ValueError(f"num_servers must be >= 1, got {num_servers}")
         self.config = config or GHBAConfig()
+        self.faults: FaultInjector = faults if faults is not None else NULL_INJECTOR
         self._rng = random.Random(seed)
         self._next_server_id = 0
         self._next_group_id = 0
@@ -175,6 +185,10 @@ class GHBACluster:
         )
         self._lru_hints = m.counter(
             "ghba_lru_hints_total", "Cooperative LRU hint messages sent."
+        )
+        self._degraded_queries = m.counter(
+            "ghba_degraded_queries_total",
+            "Queries that lost multicast legs to faults and degraded.",
         )
 
     # Read-through views kept for the pre-registry API.
@@ -383,6 +397,8 @@ class GHBACluster:
         checkpoint = 0.0  # latency already attributed to a span event
         messages = 0
         false_forwards = 0
+        degraded = False
+        faults = self.faults
 
         def hop(kind: str, target: Optional[int] = None, msg: int = 0, **detail) -> None:
             """Emit a span event covering the latency since the last hop."""
@@ -414,7 +430,10 @@ class GHBACluster:
                 messages=messages,
                 false_forwards=false_forwards,
                 origin_id=origin_id,
+                degraded=degraded,
             )
+            if degraded:
+                self._degraded_queries.inc()
             self._queries_by_level.labels(level.label).inc()
             self._latency_child.observe(latency)
             if messages:
@@ -445,7 +464,17 @@ class GHBACluster:
 
         def forward_and_verify(target_id: int) -> Optional[FileMetadata]:
             """Send the query to ``target_id`` and verify there."""
-            nonlocal latency, messages
+            nonlocal latency, messages, degraded
+            if faults.enabled and target_id != origin_id:
+                reachable, _ = faults.filter_targets(origin_id, (target_id,))
+                if not reachable:
+                    # The forward times out: one request on the wire, no
+                    # reply; the query degrades to the next level.
+                    latency += net.round_trip_ms() + net.queueing_ms(outstanding)
+                    messages += 1
+                    degraded = True
+                    hop("forward_timeout", target=target_id)
+                    return None
             self._server_forwards.labels(target_id).inc()
             if target_id != origin_id:
                 latency += net.round_trip_ms() + net.queueing_ms(outstanding)
@@ -483,23 +512,34 @@ class GHBACluster:
 
         # ---- L3: multicast within the group ----------------------------
         group = self.group_of(origin_id)
+        peers = [m for m in group.member_ids() if m != origin_id]
+        lost_peers: List[int] = []
+        if faults.enabled and peers:
+            peers, lost_peers = faults.filter_targets(origin_id, peers)
         latency += net.group_multicast_ms(group.size) + net.queueing_ms(outstanding)
-        messages += 2 * (group.size - 1)
+        # Requests go to every peer; only the reachable ones reply.
+        messages += (group.size - 1) + len(peers)
+        if lost_peers:
+            degraded = True
+            latency += net.round_trip_ms()  # waited out the silent members
         member_costs = [
             net.probe_cost_ms(member.theta, member.replica_memory_fraction())
             + net.memory_probe_ms
             for member in group.members()
             if member.server_id != origin_id
+            and member.server_id not in lost_peers
         ]
         if member_costs:
             latency += max(member_costs)
-        l3 = group.multicast_query(path)
+        l3 = group.multicast_query(path, member_ids=[origin_id] + peers)
         self._group_multicasts.labels(group.group_id).inc()
+        l3_detail = {"lost": len(lost_peers)} if lost_peers else {}
         hop(
             "group_multicast",
             target=group.group_id,
-            msg=2 * (group.size - 1),
+            msg=(group.size - 1) + len(peers),
             hits=len(l3.hits),
+            **l3_detail,
         )
         if l3.is_unique:
             meta = forward_and_verify(l3.unique_hit)
@@ -508,14 +548,24 @@ class GHBACluster:
             false_forwards += 1
 
         # ---- L4: global multicast ---------------------------------------
+        others = [sid for sid in self.servers if sid != origin_id]
+        lost_nodes: List[int] = []
+        if faults.enabled and others:
+            others, lost_nodes = faults.filter_targets(origin_id, others)
         latency += net.global_multicast_ms(self.num_servers)
         latency += net.queueing_ms(outstanding)
-        messages += 2 * (self.num_servers - 1)
-        # Every MDS checks its local filter (memory); positive ones verify
-        # against their store.  All run concurrently: charge the slowest.
+        # Requests go to every other MDS; only the reachable ones reply.
+        messages += (self.num_servers - 1) + len(others)
+        if lost_nodes:
+            degraded = True
+            latency += net.round_trip_ms()  # waited out the silent nodes
+        # Every reached MDS checks its local filter (memory); positive ones
+        # verify against their store.  All run concurrently: charge the
+        # slowest.
         verify_costs = [net.memory_probe_ms]
         found_home: Optional[int] = None
-        for server in self.servers.values():
+        for server_id in [origin_id] + others:
+            server = self.servers[server_id]
             if not server.local_filter.query(path):
                 continue
             meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
@@ -527,10 +577,12 @@ class GHBACluster:
             if server.store.get(path) is not None:
                 found_home = server.server_id
         latency += max(verify_costs)
+        l4_detail = {"lost": len(lost_nodes)} if lost_nodes else {}
         hop(
             "global_multicast",
-            msg=2 * (self.num_servers - 1),
+            msg=(self.num_servers - 1) + len(others),
             found=found_home is not None,
+            **l4_detail,
         )
         if found_home is not None:
             return finish(QueryLevel.L4, found_home)

@@ -16,7 +16,7 @@ coverage, exactly as the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Set
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.core.cluster import GHBACluster
 from repro.sim.engine import Simulator
@@ -62,6 +62,11 @@ class HeartbeatMonitor:
         self._stop_fns: List[Callable[[], None]] = []
         self.failures: List[FailureEvent] = []
         self._callbacks: List[Callable[[FailureEvent], None]] = []
+        #: ``(event, exception)`` pairs from callbacks that raised.  A bad
+        #: callback must not block the remaining ones (or re-enter the
+        #: detection round), so errors are collected here instead of
+        #: propagating.
+        self.callback_errors: List[Tuple[FailureEvent, Exception]] = []
         self.heartbeats_sent = 0
 
     # ------------------------------------------------------------------
@@ -156,8 +161,13 @@ class HeartbeatMonitor:
             self._down.discard(server_id)
             if self.auto_excise and self.cluster.num_servers > 1:
                 self.cluster.fail_server(server_id)
+            # Excision is complete before any callback runs, and one
+            # misbehaving callback cannot starve the others.
             for callback in self._callbacks:
-                callback(event)
+                try:
+                    callback(event)
+                except Exception as exc:
+                    self.callback_errors.append((event, exc))
 
     # ------------------------------------------------------------------
     # Membership tracking

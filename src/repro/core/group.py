@@ -273,16 +273,24 @@ class Group:
     # ------------------------------------------------------------------
     # Group-level query (L3)
     # ------------------------------------------------------------------
-    def multicast_query(self, path: str) -> ArrayLookup:
+    def multicast_query(
+        self, path: str, member_ids: Optional[Iterable[int]] = None
+    ) -> ArrayLookup:
         """Probe every member's segment array + local filter (L3).
 
         Returns the union of hits across the group.  With the mirror
         invariant intact, the group sees all N filters, so a genuine home
-        MDS is always among the hits.
+        MDS is always among the hits.  ``member_ids`` restricts the probe
+        to the members a (possibly faulty) multicast actually reached; the
+        default probes everyone.
         """
         hits: set = set()
         probes = 0
-        for member in self.members():
+        if member_ids is None:
+            members = self.members()
+        else:
+            members = [self._members[mid] for mid in member_ids]
+        for member in members:
             lookup = member.probe_segment(path)
             hits.update(lookup.hits)
             probes += lookup.probes

@@ -48,6 +48,11 @@ class QueryResult:
         to hold the metadata (the false-positive penalty path).
     origin_id:
         The MDS that received the client request.
+    degraded:
+        True when a fault forced the query off its normal path (an L3
+        multicast lost members to a partition or message loss and the
+        query escalated to the L4 global broadcast, or the L4 broadcast
+        itself was incomplete).  Always False in fault-free runs.
     """
 
     path: str
@@ -57,6 +62,7 @@ class QueryResult:
     messages: int
     false_forwards: int
     origin_id: int
+    degraded: bool = False
 
     @property
     def found(self) -> bool:

@@ -1,0 +1,53 @@
+"""Deterministic fault injection, retry/backoff and graceful degradation.
+
+The paper's resilience claim (Section 4.5) is that the metadata service
+stays functional at degraded coverage when MDSs fail.  This package makes
+that claim *testable*: a seeded :class:`FaultPlan` describes message drops,
+delays, duplications, node crash/restart schedules and group-scoped
+network partitions; a :class:`PlanFaultInjector` executes the plan against
+either transport (the prototype's
+:class:`~repro.prototype.transport.InProcessTransport` or the simulator's
+analytic query path in :class:`~repro.core.cluster.GHBACluster`); a
+:class:`RetryPolicy` bounds the recovery attempts; and the soak runner
+(:mod:`repro.faults.soak`, ``python -m repro.faults soak``) drives a
+chaos schedule against a live prototype cluster and reports survival.
+
+Faults are opt-in: the default :data:`NULL_INJECTOR` mirrors
+``repro.obs``'s ``NULL_TRACER`` discipline — a shared, state-free object
+whose ``enabled`` flag guards every hook, so fault-free runs stay
+bit-identical and effectively zero-overhead.
+"""
+
+from repro.faults.injector import (
+    DELIVER,
+    FaultInjector,
+    NULL_INJECTOR,
+    NullFaultInjector,
+    PlanFaultInjector,
+    SendVerdict,
+)
+from repro.faults.drill import DrillReport, DrillResult, run_drill
+from repro.faults.plan import CrashEvent, FaultPlan, Partition
+from repro.faults.retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy
+from repro.faults.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "CrashEvent",
+    "DEFAULT_RETRY",
+    "DELIVER",
+    "DrillReport",
+    "DrillResult",
+    "FaultInjector",
+    "FaultPlan",
+    "NO_RETRY",
+    "NULL_INJECTOR",
+    "NullFaultInjector",
+    "Partition",
+    "PlanFaultInjector",
+    "RetryPolicy",
+    "SendVerdict",
+    "SoakConfig",
+    "SoakReport",
+    "run_drill",
+    "run_soak",
+]

@@ -1,0 +1,111 @@
+"""CLI for the fault-injection layer.
+
+Usage::
+
+    python -m repro.faults soak --seed 7 --duration-s 5
+    python -m repro.faults soak --seed 7 --duration-s 5 --json out.json
+    python -m repro.faults drill --servers 9 --seed 0
+
+``soak`` drives the threaded prototype cluster through a seeded chaos
+schedule (drops, delays, duplicates, a group partition and one
+crash/restart) and prints the survival report; the exit code is nonzero
+when any query was lost, resolved falsely negative, or the retry/drop
+accounting failed to reconcile.  ``drill`` replays crash schedules
+against the simulator's heartbeat monitor and checks detection latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.faults.drill import run_drill
+from repro.faults.soak import SoakConfig, run_soak
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
+def _cmd_soak(args) -> int:
+    config = SoakConfig(
+        seed=args.seed,
+        duration_s=args.duration_s,
+        num_nodes=args.nodes,
+        num_files=args.files,
+        ops_per_s=args.ops_per_s,
+        drop_rate=args.drop_rate,
+        delay_rate=args.delay_rate,
+        duplicate_rate=args.duplicate_rate,
+        with_crash=not args.no_crash,
+        with_partition=not args.no_partition,
+        max_attempts=args.max_attempts,
+    )
+    report = run_soak(config)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote report to {args.json}")
+    return 0 if report.passed else 1
+
+
+def _cmd_drill(args) -> int:
+    report = run_drill(num_servers=args.servers, seed=args.seed)
+    print(report.render())
+    return 0 if report.within_bound else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    soak = subparsers.add_parser(
+        "soak", help="run the chaos soak and print the survival report"
+    )
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--duration-s", type=_positive_float, default=5.0)
+    soak.add_argument("--nodes", type=_positive_int, default=8)
+    soak.add_argument("--files", type=_positive_int, default=240)
+    soak.add_argument("--ops-per-s", type=_positive_float, default=50.0)
+    soak.add_argument("--drop-rate", type=_rate, default=0.05)
+    soak.add_argument("--delay-rate", type=_rate, default=0.10)
+    soak.add_argument("--duplicate-rate", type=_rate, default=0.02)
+    soak.add_argument("--max-attempts", type=_positive_int, default=3)
+    soak.add_argument("--no-crash", action="store_true")
+    soak.add_argument("--no-partition", action="store_true")
+    soak.add_argument("--json", default=None, metavar="FILE.json")
+    soak.set_defaults(func=_cmd_soak)
+
+    drill = subparsers.add_parser(
+        "drill", help="measure heartbeat failure-detection latency"
+    )
+    drill.add_argument("--servers", type=_positive_int, default=9)
+    drill.add_argument("--seed", type=int, default=0)
+    drill.set_defaults(func=_cmd_drill)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+"""Fault injectors: turn a :class:`~repro.faults.plan.FaultPlan` into
+per-message decisions.
+
+Two implementations of the :class:`FaultInjector` protocol exist:
+
+- :data:`NULL_INJECTOR` — the default everywhere.  ``enabled`` is False
+  and every hook is a no-op returning shared state-free objects, so the
+  fault-free hot paths pay one attribute check and stay bit-identical to
+  a build without the fault layer at all (the ``NULL_TRACER`` discipline).
+- :class:`PlanFaultInjector` — executes a plan with a dedicated seeded
+  RNG.  Message-level faults (drop / delay / duplicate / partition cut)
+  are decided in :meth:`on_send`; the simulator's analytic multicasts ask
+  :meth:`filter_targets` which destinations a multicast reaches.  All
+  decisions are deterministic functions of (plan, seed, message order).
+
+The injector never kills nodes itself: crash/restore events are data in
+the plan, executed by the chaos driver (:mod:`repro.faults.soak`) against
+the prototype cluster, or replayed as heartbeat silences by the detection
+drill (:mod:`repro.faults.drill`).  The injector just tracks which nodes
+are currently silenced so both transports agree on who is unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SendVerdict:
+    """The fate of one message at the fault layer.
+
+    ``copies`` is the number of deliveries (2+ for duplication; ignored
+    when ``deliver`` is False); ``delay_s`` is added to the message's
+    virtual arrival time; ``reason`` names the fault for accounting
+    (``"loss"`` or ``"partition"`` on drops, empty otherwise).
+    """
+
+    deliver: bool = True
+    copies: int = 1
+    delay_s: float = 0.0
+    reason: str = ""
+
+
+#: Shared fast-path verdict: deliver one copy, no delay.
+DELIVER = SendVerdict()
+
+
+class FaultInjector(Protocol):
+    """What the transports require of a fault layer."""
+
+    enabled: bool
+
+    def on_send(self, dest: int, message) -> SendVerdict:
+        """Decide the fate of one transport message."""
+        ...
+
+    def filter_targets(
+        self, origin: int, dests: Iterable[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Split multicast destinations into (reachable, lost)."""
+        ...
+
+    def is_silenced(self, node_id: int) -> bool:
+        ...
+
+    def silence(self, node_id: int) -> None:
+        """Record that ``node_id`` crashed (driver bookkeeping)."""
+        ...
+
+    def restore(self, node_id: int) -> None:
+        ...
+
+
+class NullFaultInjector:
+    """The default injector: everything is delivered, nothing is tracked."""
+
+    enabled = False
+
+    def on_send(self, dest: int, message) -> SendVerdict:
+        return DELIVER
+
+    def filter_targets(
+        self, origin: int, dests: Iterable[int]
+    ) -> Tuple[List[int], List[int]]:
+        return list(dests), []
+
+    def is_silenced(self, node_id: int) -> bool:
+        return False
+
+    def silence(self, node_id: int) -> None:
+        pass
+
+    def restore(self, node_id: int) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullFaultInjector()"
+
+
+#: Module-level singleton used as the default everywhere.
+NULL_INJECTOR = NullFaultInjector()
+
+
+class PlanFaultInjector:
+    """Executes a :class:`FaultPlan` deterministically.
+
+    Parameters
+    ----------
+    plan:
+        The schedule to execute.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        every injected fault increments ``fault_injected_total{kind,cause}``
+        and delays feed the ``fault_delay_ms`` histogram.  Plain integer
+        tallies (:attr:`counts`) are kept either way.
+
+    The transport message stream and the simulator multicast stream draw
+    from *separate* seeded RNGs, so instrumenting one never perturbs the
+    other (the repo's one-RNG-per-component reproducibility rule).
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan, metrics=None) -> None:
+        self.plan = plan
+        self._rng = make_rng(plan.seed)
+        self._sim_rng = make_rng(plan.seed ^ 0x5EED)
+        self._now = 0.0
+        self._silenced: Set[int] = set()
+        self.counts: Dict[str, int] = {
+            "drop_request": 0,
+            "drop_oneway": 0,
+            "partition_request": 0,
+            "partition_oneway": 0,
+            "multicast_lost": 0,
+            "delay": 0,
+            "duplicate": 0,
+            "silence": 0,
+            "restore": 0,
+        }
+        self._injected = None
+        self._delay_hist = None
+        if metrics is not None:
+            self._injected = metrics.counter(
+                "fault_injected_total",
+                "Faults injected, by kind and cause.",
+                labels=("kind", "cause"),
+            )
+            self._delay_hist = metrics.histogram(
+                "fault_delay_ms",
+                "Injected virtual message delays in milliseconds.",
+                seed=plan.seed,
+            ).labels()
+
+    # ------------------------------------------------------------------
+    # Clock & silence bookkeeping (driven by the chaos runner)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, now_s: float) -> None:
+        """Move the injector's virtual clock forward (never backward)."""
+        if now_s < self._now:
+            raise ValueError(f"clock went backward: {now_s} < {self._now}")
+        self._now = now_s
+
+    def silence(self, node_id: int) -> None:
+        """Mark ``node_id`` crashed (unreachable for multicast filtering)."""
+        if node_id not in self._silenced:
+            self._silenced.add(node_id)
+            self._count("silence", "crash")
+
+    def restore(self, node_id: int) -> None:
+        if node_id in self._silenced:
+            self._silenced.discard(node_id)
+            self._count("restore", "crash")
+
+    def is_silenced(self, node_id: int) -> bool:
+        return node_id in self._silenced
+
+    @property
+    def silenced(self) -> Set[int]:
+        return set(self._silenced)
+
+    # ------------------------------------------------------------------
+    # Decision points
+    # ------------------------------------------------------------------
+    def on_send(self, dest: int, message) -> SendVerdict:
+        """Fate of one transport message (request or one-way)."""
+        plan = self.plan
+        kind = "request" if message.reply_to is not None else "oneway"
+        if plan.severed(message.sender, dest, self._now):
+            self._count(f"partition_{kind}", "partition")
+            return SendVerdict(deliver=False, reason="partition")
+        if plan.drop_rate > 0 and self._rng.random() < plan.drop_rate:
+            self._count(f"drop_{kind}", "loss")
+            return SendVerdict(deliver=False, reason="loss")
+        delay_s = 0.0
+        if plan.delay_rate > 0 and self._rng.random() < plan.delay_rate:
+            delay_ms = self._rng.uniform(plan.delay_ms_min, plan.delay_ms_max)
+            delay_s = delay_ms / 1000.0
+            self._count("delay", "delay")
+            if self._delay_hist is not None:
+                self._delay_hist.observe(delay_ms)
+        copies = 1
+        if plan.duplicate_rate > 0 and self._rng.random() < plan.duplicate_rate:
+            copies = 2
+            self._count("duplicate", "duplicate")
+        if copies == 1 and delay_s == 0.0:
+            return DELIVER
+        return SendVerdict(deliver=True, copies=copies, delay_s=delay_s)
+
+    def filter_targets(
+        self, origin: int, dests: Iterable[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Which multicast destinations answer (the simulator's hook).
+
+        A destination is lost when it is silenced (crashed), the active
+        partitions sever the ``origin -> dest`` link, or the per-message
+        drop draw fires for its leg of the multicast.
+        """
+        plan = self.plan
+        reachable: List[int] = []
+        lost: List[int] = []
+        for dest in dests:
+            if dest in self._silenced or plan.severed(origin, dest, self._now):
+                lost.append(dest)
+            elif plan.drop_rate > 0 and self._sim_rng.random() < plan.drop_rate:
+                self._count("multicast_lost", "loss")
+                lost.append(dest)
+            else:
+                reachable.append(dest)
+        return reachable, lost
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _count(self, kind: str, cause: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self._injected is not None:
+            self._injected.labels(kind, cause).inc()
+
+    @property
+    def dropped_requests(self) -> int:
+        """Request-path drops (loss + partition): the retries' workload."""
+        return self.counts["drop_request"] + self.counts["partition_request"]
+
+    @property
+    def dropped_oneways(self) -> int:
+        return self.counts["drop_oneway"] + self.counts["partition_oneway"]
+
+    def __repr__(self) -> str:
+        active = {k: v for k, v in self.counts.items() if v}
+        return f"PlanFaultInjector(now={self._now:.3f}, counts={active})"

@@ -16,14 +16,17 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.checkpoint import restore_server, snapshot_server
 from repro.core.config import GHBAConfig
 from repro.core.query import QueryLevel
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
 from repro.metadata.attributes import FileMetadata
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.prototype.messages import Message, MessageKind
 from repro.prototype.node import MDSNode
-from repro.prototype.transport import InProcessTransport
+from repro.prototype.transport import InProcessTransport, TransportClosed
 
 #: Client sender ID used in messages.
 CLIENT = -1
@@ -31,13 +34,20 @@ CLIENT = -1
 
 @dataclass(frozen=True)
 class LookupOutcome:
-    """Result of one prototype lookup."""
+    """Result of one prototype lookup.
+
+    ``degraded`` is True when a fault forced the lookup off its normal
+    path — a protocol step timed out, a multicast lost members, or the
+    group probe escalated to the global broadcast.  Fault-free lookups
+    always report False.
+    """
 
     path: str
     home_id: Optional[int]
     level: QueryLevel
     virtual_latency_ms: float
     origin_id: int
+    degraded: bool = False
 
     @property
     def found(self) -> bool:
@@ -63,6 +73,13 @@ class PrototypeCluster:
     metrics:
         Optional shared :class:`~repro.obs.registry.MetricsRegistry` for
         per-level lookup counts, lookup latency and wire message totals.
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector` installed
+        on the transport; lookups degrade gracefully (escalating to the
+        global broadcast) instead of failing when it loses messages.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` for the
+        transport's request/gather retries.
     """
 
     def __init__(
@@ -73,6 +90,8 @@ class PrototypeCluster:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -80,9 +99,11 @@ class PrototypeCluster:
             raise ValueError(f"scheme must be 'ghba' or 'hba', got {scheme!r}")
         self.config = config or GHBAConfig()
         self.scheme = scheme
-        self.transport = InProcessTransport()
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.transport = InProcessTransport(
+            injector=injector, retry=retry, metrics=self.metrics
+        )
         self._lookups_by_level = self.metrics.counter(
             "proto_lookups_total",
             "Prototype lookups resolved, by hierarchy level.",
@@ -93,6 +114,10 @@ class PrototypeCluster:
             "Prototype lookup virtual latency in milliseconds.",
             seed=seed,
         ).labels()
+        self._degraded_lookups = self.metrics.counter(
+            "proto_degraded_lookups_total",
+            "Prototype lookups that lost protocol steps to faults.",
+        )
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.nodes: Dict[int, MDSNode] = {}
@@ -103,6 +128,8 @@ class PrototypeCluster:
         self._group_of: Dict[int, int] = {}
         self._placements: Dict[int, Dict[int, int]] = {}
         self._next_group_id = 0
+        #: Durable ("on-disk") state of crashed nodes, by node id.
+        self._crashed: Dict[int, Dict] = {}
         self._build(num_nodes)
 
     # ------------------------------------------------------------------
@@ -225,7 +252,9 @@ class PrototypeCluster:
                 continue
             for group_id, placements in self._placements.items():
                 host = placements.get(node_id)
-                if host is not None:
+                # A crashed host misses the refresh; it rejoins with its
+                # checkpointed (possibly stale) replica set.
+                if host is not None and host in self.nodes:
                     self.nodes[host].server.replace_replica(
                         node_id, template.copy()
                     )
@@ -239,14 +268,24 @@ class PrototypeCluster:
         vtime: float = 0.0,
         origin_id: Optional[int] = None,
     ) -> LookupOutcome:
-        """Resolve ``path`` via real messages; return the virtual latency."""
+        """Resolve ``path`` via real messages; return the virtual latency.
+
+        Under fault injection the protocol degrades instead of raising: a
+        timed-out step is skipped (its virtual timeout is charged to the
+        latency), an incomplete group multicast escalates to the global
+        broadcast, and the outcome is flagged ``degraded``.
+        """
         net = self.config.network
+        retry = self.transport.retry
         if origin_id is None:
             with self._lock:
                 origin_id = self._rng.choice(sorted(self.nodes))
         span = self.tracer.start_span(path, origin_id)
         t = vtime + net.unicast_ms / 1000.0
         checkpoint_ms = 0.0
+        degraded = False
+        # Virtual wait a client spends on a request that never answers.
+        exhaust_penalty_s = retry.timeout_s * retry.max_attempts
 
         def hop(kind: str, target: Optional[int] = None, msg: int = 0, **detail) -> None:
             """Span event covering the virtual latency since the last hop."""
@@ -261,14 +300,34 @@ class PrototypeCluster:
             )
             checkpoint_ms = elapsed_ms
 
-        def request(dest: int, kind: MessageKind, arrival: float, **payload) -> Message:
+        def try_request(
+            dest: int, kind: MessageKind, arrival: float, **payload
+        ) -> Optional[Message]:
+            """One protocol request; None (not an exception) on failure.
+
+            MDS-to-MDS protocol steps carry ``sender=origin_id`` so the
+            fault layer can sever them along group partitions; the client
+            itself is never partitioned from the service.
+            """
+            nonlocal t, degraded
             message = Message(
-                kind=kind, sender=CLIENT, payload=payload, arrival_vtime=arrival
+                kind=kind,
+                sender=origin_id,
+                payload=payload,
+                arrival_vtime=arrival,
             )
-            return self.transport.request(dest, message)
+            try:
+                return self.transport.request(dest, message)
+            except (TransportClosed, TimeoutError):
+                degraded = True
+                t = max(t, arrival + exhaust_penalty_s)
+                hop("step_timeout", target=dest)
+                return None
 
         def verify(target: int, arrival: float) -> Tuple[bool, float]:
-            reply = request(target, MessageKind.VERIFY, arrival, path=path)
+            reply = try_request(target, MessageKind.VERIFY, arrival, path=path)
+            if reply is None:
+                return (False, t)
             finish = reply.payload["finish_vtime"]
             return (reply.payload["found"], finish + net.unicast_ms / 1000.0)
 
@@ -286,18 +345,23 @@ class PrototypeCluster:
             level: QueryLevel, home: Optional[int], t_done: float
         ) -> LookupOutcome:
             if home is not None:
-                self.transport.send(
-                    origin_id,
-                    Message(
-                        kind=MessageKind.RECORD_LRU,
-                        sender=CLIENT,
-                        payload={"path": path, "home_id": home},
-                        arrival_vtime=t_done,
-                    ),
-                )
+                try:
+                    self.transport.send(
+                        origin_id,
+                        Message(
+                            kind=MessageKind.RECORD_LRU,
+                            sender=CLIENT,
+                            payload={"path": path, "home_id": home},
+                            arrival_vtime=t_done,
+                        ),
+                    )
+                except TransportClosed:
+                    pass  # origin crashed mid-lookup; the hint is lost
             latency_ms = (t_done - vtime) * 1000.0
             self._lookups_by_level.labels(level.label).inc()
             self._lookup_latency.observe(latency_ms)
+            if degraded:
+                self._degraded_lookups.inc()
             span.finish(
                 level.label,
                 home,
@@ -310,26 +374,34 @@ class PrototypeCluster:
                 level=level,
                 virtual_latency_ms=latency_ms,
                 origin_id=origin_id,
+                degraded=degraded,
             )
 
         # L1 + L2: one request to the origin node.
-        reply = request(origin_id, MessageKind.PROBE_LOCAL, t, path=path)
-        t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
-        l1_hits = reply.payload["l1_hits"]
-        l2_hits = reply.payload["l2_hits"]
+        reply = try_request(origin_id, MessageKind.PROBE_LOCAL, t, path=path)
+        if reply is None:
+            # The origin itself is unreachable: nothing local to probe;
+            # fall through to the global broadcast.
+            l1_hits: List[int] = []
+            l2_hits: Optional[List[int]] = None
+        else:
+            t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
+            l1_hits = reply.payload["l1_hits"]
+            l2_hits = reply.payload["l2_hits"]
         hop("l1_probe", target=origin_id, msg=2, hits=len(l1_hits))
         if len(l1_hits) == 1:
             if verify_hop(l1_hits[0]):
                 return record_and_finish(QueryLevel.L1, l1_hits[0], t)
             # Stale L1 entry: fall back to a separate L2 probe.
-            reply = request(
+            reply = try_request(
                 origin_id,
                 MessageKind.PROBE_SEGMENT,
                 t + net.unicast_ms / 1000.0,
                 path=path,
             )
-            t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
-            l2_hits = reply.payload["hits"]
+            if reply is not None:
+                t = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
+                l2_hits = reply.payload["hits"]
         hop(
             "l2_probe",
             target=origin_id,
@@ -345,20 +417,24 @@ class PrototypeCluster:
             members = [m for m in self.groups[group_id] if m != origin_id]
             if members:
                 arrival = t + net.unicast_ms / 1000.0
-                replies = self.transport.gather(
+                result = self.transport.gather(
                     members,
                     lambda dest: Message(
                         kind=MessageKind.PROBE_SEGMENT,
-                        sender=CLIENT,
+                        sender=origin_id,
                         payload={"path": path},
                         arrival_vtime=arrival,
                     ),
                 )
                 hits: set = set(l2_hits or [])
                 finish = t
-                for reply in replies.values():
+                for reply in result.replies.values():
                     hits.update(reply.payload["hits"])
                     finish = max(finish, reply.payload["finish_vtime"])
+                if not result.complete:
+                    # Waited out the silent members before giving up.
+                    degraded = True
+                    finish = max(finish, arrival + exhaust_penalty_s)
                 t = finish + net.unicast_ms / 1000.0
                 hop(
                     "group_multicast",
@@ -366,7 +442,10 @@ class PrototypeCluster:
                     msg=2 * len(members),
                     hits=len(hits),
                 )
-                if len(hits) == 1:
+                # A unique hit from a *partial* multicast is not trusted:
+                # the silent member might host the real home's replica, so
+                # the query escalates to the global broadcast instead.
+                if len(hits) == 1 and result.complete:
                     target = next(iter(hits))
                     if verify_hop(target):
                         return record_and_finish(QueryLevel.L3, target, t)
@@ -374,29 +453,33 @@ class PrototypeCluster:
         # L4: global multicast — every node verifies locally.
         others = [nid for nid in self.node_ids() if nid != origin_id]
         arrival = t + net.unicast_ms / 1000.0
-        replies = self.transport.gather(
+        result = self.transport.gather(
             others,
             lambda dest: Message(
                 kind=MessageKind.VERIFY,
-                sender=CLIENT,
+                sender=origin_id,
                 payload={"path": path},
                 arrival_vtime=arrival,
             ),
         )
         home: Optional[int] = None
         finish = t
-        for node_id, reply in replies.items():
+        for node_id, reply in result.replies.items():
             finish = max(finish, reply.payload["finish_vtime"])
             if reply.payload["found"]:
                 home = node_id
+        if not result.complete:
+            degraded = True
+            finish = max(finish, arrival + exhaust_penalty_s)
         # The origin itself may be the home.
-        origin_reply = request(
+        origin_reply = try_request(
             origin_id, MessageKind.VERIFY, t + net.unicast_ms / 1000.0, path=path
         )
-        finish = max(finish, origin_reply.payload["finish_vtime"])
-        if origin_reply.payload["found"]:
-            home = origin_id
-        t = finish + net.unicast_ms / 1000.0
+        if origin_reply is not None:
+            finish = max(finish, origin_reply.payload["finish_vtime"])
+            if origin_reply.payload["found"]:
+                home = origin_id
+        t = max(t, finish + net.unicast_ms / 1000.0)
         hop(
             "global_multicast",
             msg=2 * (len(others) + 1),
@@ -750,6 +833,50 @@ class PrototypeCluster:
             self.transport.send(
                 member, Message(kind=MessageKind.PING, sender=CLIENT)
             )
+
+    # ------------------------------------------------------------------
+    # Crash / restore (repro.faults)
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        """Abruptly kill ``node_id``; its durable state survives "on disk".
+
+        The node's metadata records, Bloom filters and hosted replicas are
+        checkpointed (:func:`~repro.core.checkpoint.snapshot_server`) the
+        way a real MDS's disk would hold them; :meth:`restore_node` brings
+        the node back from exactly that state.  While down, the node is
+        deregistered from the transport (requests fail fast with
+        :class:`TransportClosed`) and — when a fault injector is active —
+        marked silenced so multicast filtering agrees.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        node = self.nodes.pop(node_id)
+        self._crashed[node_id] = snapshot_server(node.server)
+        # Halt the thread with a STOP dropped straight into the mailbox
+        # (not a wire message, so not counted).  Queued requests drain
+        # first, so no client blocks on a reply the dying node still owes.
+        node._mailbox.put(Message(kind=MessageKind.STOP, sender=CLIENT))
+        node.join(timeout=5.0)
+        self.transport.deregister(node_id)
+        if self.transport.injector.enabled:
+            self.transport.injector.silence(node_id)
+
+    def restore_node(self, node_id: int) -> MDSNode:
+        """Restart a crashed node from its checkpointed "disk" state."""
+        state = self._crashed.pop(node_id, None)
+        if state is None:
+            raise KeyError(f"node {node_id} has no crashed state to restore")
+        server = restore_server(state, self.config)
+        node = MDSNode(node_id, self.config, self.transport, server=server)
+        self.nodes[node_id] = node
+        node.start()
+        if self.transport.injector.enabled:
+            self.transport.injector.restore(node_id)
+        return node
+
+    def crashed_node_ids(self) -> List[int]:
+        """Nodes whose on-disk state awaits :meth:`restore_node`."""
+        return sorted(self._crashed)
 
     # ------------------------------------------------------------------
     # Consistency check & shutdown

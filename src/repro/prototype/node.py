@@ -39,12 +39,19 @@ class MDSNode(threading.Thread):
         node_id: int,
         config: GHBAConfig,
         transport: InProcessTransport,
+        server: "MetadataServer" = None,
     ) -> None:
         super().__init__(name=f"mds-{node_id}", daemon=True)
         self.node_id = node_id
         self.config = config
         self.transport = transport
-        self.server = MetadataServer(node_id, config)
+        # A restored node (crash recovery) resumes with its checkpointed
+        # server state instead of a fresh one.
+        self.server = server if server is not None else MetadataServer(node_id, config)
+        if self.server.server_id != node_id:
+            raise ValueError(
+                f"server id {self.server.server_id} != node id {node_id}"
+            )
         self._mailbox = transport.register(node_id)
         self._clock_lock = threading.Lock()
         self._busy_until = 0.0

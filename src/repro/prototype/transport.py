@@ -4,14 +4,28 @@ Each registered node owns a :class:`queue.Queue` mailbox.  ``send`` enqueues
 a message and bumps the message counter; ``request`` additionally blocks on
 a private reply queue.  Counting happens here — at the transport — so the
 message totals of Figures 14-15 are *observed*, not computed.
+
+The transport is also the fault boundary (``repro.faults``): every send
+passes through a :class:`~repro.faults.injector.FaultInjector` (the no-op
+:data:`~repro.faults.injector.NULL_INJECTOR` by default), which may drop,
+delay or duplicate the message.  Lost replies are recovered by bounded
+retry with exponential backoff + jitter (:class:`~repro.faults.retry.RetryPolicy`);
+timeout and backoff penalties are charged to the retried message's
+*virtual* arrival time, so recovery costs show up in the latency figures
+without slowing the real clock.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
-from typing import Dict, Iterable, List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
+from repro.faults.retry import DEFAULT_RETRY, RetryPolicy
 from repro.prototype.messages import Message
 
 
@@ -19,15 +33,89 @@ class TransportClosed(Exception):
     """Raised when sending to a deregistered node."""
 
 
-class InProcessTransport:
-    """Registry of node mailboxes plus message counters."""
+@dataclass
+class GatherResult:
+    """Outcome of one multicast: what answered, what did not.
 
-    def __init__(self, default_timeout_s: float = 30.0) -> None:
+    A missing destination is *not* an error: callers degrade (fall back to
+    a wider broadcast, proceed with partial coverage) instead of aborting.
+
+    Attributes
+    ----------
+    replies:
+        ``{dest: reply}`` for every destination that answered.
+    missing:
+        Destinations that never replied within the retry budget.
+    unreachable:
+        Destinations whose mailbox is gone (crashed / deregistered nodes).
+    """
+
+    replies: Dict[int, Message] = field(default_factory=dict)
+    missing: Tuple[int, ...] = ()
+    unreachable: Tuple[int, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing and not self.unreachable
+
+    def __len__(self) -> int:
+        return len(self.replies)
+
+
+class InProcessTransport:
+    """Registry of node mailboxes plus message counters.
+
+    Parameters
+    ----------
+    default_timeout_s:
+        Real-clock wait per request attempt when no explicit timeout is
+        given.
+    injector:
+        Fault layer consulted on every send; defaults to the zero-overhead
+        :data:`~repro.faults.injector.NULL_INJECTOR`.
+    retry:
+        Retry/backoff policy for ``request`` and ``gather``.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        retries and exhaustions become counters and backoffs a histogram.
+    """
+
+    def __init__(
+        self,
+        default_timeout_s: float = 30.0,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        metrics=None,
+    ) -> None:
         self._mailboxes: Dict[int, "queue.Queue[Message]"] = {}
         self._lock = threading.Lock()
         self._messages_sent = 0
         self._replies_received = 0
         self._default_timeout = default_timeout_s
+        self.injector: FaultInjector = (
+            injector if injector is not None else NULL_INJECTOR
+        )
+        self.retry: RetryPolicy = retry if retry is not None else DEFAULT_RETRY
+        # Jitter draws are seeded so a seeded soak reproduces its backoffs.
+        self._retry_rng = random.Random(0)
+        self._retries = 0
+        self._exhausted = 0
+        self._retries_counter = None
+        self._exhausted_counter = None
+        self._backoff_hist = None
+        if metrics is not None:
+            self._retries_counter = metrics.counter(
+                "transport_retries_total",
+                "Request attempts re-sent after a reply timed out.",
+            )
+            self._exhausted_counter = metrics.counter(
+                "transport_retry_exhausted_total",
+                "Requests/multicast legs that ran out of retry attempts.",
+            )
+            self._backoff_hist = metrics.histogram(
+                "transport_retry_backoff_ms",
+                "Backoff (virtual milliseconds) charged before each retry.",
+            ).labels()
 
     # ------------------------------------------------------------------
     # Registration
@@ -65,21 +153,81 @@ class InProcessTransport:
         with self._lock:
             return self._replies_received
 
+    @property
+    def retries(self) -> int:
+        with self._lock:
+            return self._retries
+
+    @property
+    def exhausted(self) -> int:
+        with self._lock:
+            return self._exhausted
+
     def reset_counters(self) -> None:
         with self._lock:
             self._messages_sent = 0
             self._replies_received = 0
+            self._retries = 0
+            self._exhausted = 0
 
-    def send(self, dest: int, message: Message, count: bool = True) -> None:
+    def send(self, dest: int, message: Message, count: bool = True) -> bool:
         """One-way send (counted as one message unless ``count=False``,
-        which is reserved for harness-level synchronization pings)."""
+        which is reserved for harness-level synchronization pings).
+
+        Returns True when the message reached the destination mailbox;
+        False when the fault layer dropped it.  A dropped message still
+        counts as sent — it went on the wire and vanished there.
+        """
         with self._lock:
             mailbox = self._mailboxes.get(dest)
             if mailbox is None:
                 raise TransportClosed(f"node {dest} is not registered")
             if count:
                 self._messages_sent += 1
+        if self.injector.enabled:
+            verdict = self.injector.on_send(dest, message)
+            if not verdict.deliver:
+                return False
+            if verdict.delay_s:
+                message.arrival_vtime += verdict.delay_s
+            for _ in range(verdict.copies):
+                mailbox.put(message)
+            return True
         mailbox.put(message)
+        return True
+
+    def _count_reply(self) -> None:
+        with self._lock:
+            self._messages_sent += 1  # the reply on the wire
+            self._replies_received += 1
+
+    def _note_retry(self, backoff_s: float) -> None:
+        with self._lock:
+            self._retries += 1
+        if self._retries_counter is not None:
+            self._retries_counter.inc()
+        if self._backoff_hist is not None:
+            self._backoff_hist.observe(backoff_s * 1000.0)
+
+    def _note_exhausted(self, count: int = 1) -> None:
+        with self._lock:
+            self._exhausted += count
+        if self._exhausted_counter is not None:
+            self._exhausted_counter.inc(count)
+
+    def _retry_copy(self, message: Message, backoff_s: float) -> Message:
+        """The re-sent attempt: same request, later virtual arrival.
+
+        The failed attempt's timeout and the backoff are virtual-clock
+        costs (the client *waited* that long before re-sending).
+        """
+        return Message(
+            kind=message.kind,
+            sender=message.sender,
+            payload=message.payload,
+            request_id=message.request_id,
+            arrival_vtime=message.arrival_vtime + self.retry.timeout_s + backoff_s,
+        )
 
     def request(
         self,
@@ -88,51 +236,111 @@ class InProcessTransport:
         timeout_s: Optional[float] = None,
         count: bool = True,
     ) -> Message:
-        """Send and block for the reply (request + reply = 2 messages)."""
-        reply_queue: "queue.Queue[Message]" = queue.Queue(maxsize=1)
-        message.reply_to = reply_queue
-        self.send(dest, message, count=count)
-        try:
-            reply = reply_queue.get(
-                timeout=timeout_s if timeout_s is not None else self._default_timeout
-            )
-        except queue.Empty:
-            raise TimeoutError(
-                f"no reply from node {dest} for {message.kind.value} "
-                f"(request {message.request_id})"
-            ) from None
-        with self._lock:
-            if count:
-                self._messages_sent += 1  # the reply on the wire
-            self._replies_received += 1
-        return reply
+        """Send and block for the reply (request + reply = 2 messages).
+
+        A lost reply is retried up to ``retry.max_attempts`` total sends
+        with exponential backoff; :class:`TimeoutError` is raised only
+        once the budget is exhausted.  Messages the fault layer is known
+        to have dropped skip the real-clock wait — the timeout is charged
+        to the retry's virtual arrival time instead.
+        """
+        timeout = timeout_s if timeout_s is not None else self._default_timeout
+        attempt = message
+        for index in range(self.retry.max_attempts):
+            reply_queue: "queue.Queue[Message]" = queue.Queue()
+            attempt.reply_to = reply_queue
+            delivered = self.send(dest, attempt, count=count)
+            reply: Optional[Message] = None
+            if delivered:
+                try:
+                    reply = reply_queue.get(timeout=timeout)
+                except queue.Empty:
+                    reply = None
+            if reply is not None:
+                if count:
+                    self._count_reply()
+                else:
+                    with self._lock:
+                        self._replies_received += 1
+                return reply
+            if index + 1 >= self.retry.max_attempts:
+                break
+            with self._lock:
+                backoff = self.retry.backoff_s(index, self._retry_rng)
+            self._note_retry(backoff)
+            attempt = self._retry_copy(attempt, backoff)
+        self._note_exhausted()
+        raise TimeoutError(
+            f"no reply from node {dest} for {message.kind.value} "
+            f"(request {message.request_id}) after "
+            f"{self.retry.max_attempts} attempt(s)"
+        )
 
     def gather(
         self,
         dests: Iterable[int],
-        build_message,
+        build_message: Callable[[int], Message],
         timeout_s: Optional[float] = None,
-    ) -> Dict[int, Message]:
-        """Multicast: send to every dest, then gather all replies.
+    ) -> GatherResult:
+        """Multicast: send to every dest, then gather whatever replies.
 
         ``build_message(dest)`` constructs each request (so every request
-        carries its own reply queue).  Returns ``{dest: reply}``.
+        carries its own reply queue).  All destinations share one deadline
+        per attempt wave — total real wait is bounded by the timeout, not
+        ``len(dests) × timeout`` — and destinations that stay silent are
+        retried with backoff.  The result carries the collected replies
+        *plus* the set of silent/unreachable destinations, so callers can
+        degrade (e.g. escalate to the global broadcast) instead of
+        aborting and discarding replies already received.
         """
-        reply_queues: Dict[int, "queue.Queue[Message]"] = {}
-        for dest in dests:
-            message = build_message(dest)
-            reply_queue: "queue.Queue[Message]" = queue.Queue(maxsize=1)
-            message.reply_to = reply_queue
-            self.send(dest, message)
-            reply_queues[dest] = reply_queue
-        replies: Dict[int, Message] = {}
         timeout = timeout_s if timeout_s is not None else self._default_timeout
-        for dest, reply_queue in reply_queues.items():
+        replies: Dict[int, Message] = {}
+        unreachable: List[int] = []
+        # dest -> (in-flight message, delivered?)
+        pending: Dict[int, Tuple[Message, bool]] = {}
+
+        def dispatch(dest: int, message: Message) -> None:
+            message.reply_to = queue.Queue()
             try:
-                replies[dest] = reply_queue.get(timeout=timeout)
-            except queue.Empty:
-                raise TimeoutError(f"no reply from node {dest}") from None
+                delivered = self.send(dest, message)
+            except TransportClosed:
+                unreachable.append(dest)
+                return
+            pending[dest] = (message, delivered)
+
+        for dest in dests:
+            dispatch(dest, build_message(dest))
+
+        for index in range(self.retry.max_attempts):
+            # Collect this wave against one shared deadline.  Replies land
+            # in per-dest queues concurrently, so draining them one by one
+            # against the common deadline still bounds the total wait.
+            deadline = time.monotonic() + timeout
+            for dest in list(pending):
+                message, delivered = pending[dest]
+                if not delivered:
+                    continue  # known-dropped: no reply will ever come
+                remaining = deadline - time.monotonic()
+                try:
+                    reply = message.reply_to.get(timeout=max(0.0, remaining))
+                except queue.Empty:
+                    continue
+                replies[dest] = reply
+                del pending[dest]
+                self._count_reply()
+            if not pending or index + 1 >= self.retry.max_attempts:
+                break
             with self._lock:
-                self._messages_sent += 1
-                self._replies_received += 1
-        return replies
+                backoff = self.retry.backoff_s(index, self._retry_rng)
+            for dest in sorted(pending):
+                message, _ = pending.pop(dest)
+                self._note_retry(backoff)
+                dispatch(dest, self._retry_copy(message, backoff))
+
+        if pending:
+            self._note_exhausted(len(pending))
+        return GatherResult(
+            replies=replies,
+            missing=tuple(sorted(pending)),
+            unreachable=tuple(sorted(unreachable)),
+        )

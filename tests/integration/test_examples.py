@@ -60,6 +60,13 @@ class TestExamples:
         assert "after recovery" in out and "found=True" in out
         assert "restored cluster resolves" in out
 
+    def test_chaos_tour(self):
+        out = run_example("chaos_tour.py")
+        assert "degraded=True" in out
+        assert "verdict: PASS" in out
+        assert "retry reconciliation" in out and "-> ok" in out
+        assert "chaos tour complete" in out
+
     def test_observability_tour(self):
         out = run_example("observability_tour.py")
         assert "traced" in out and "queries" in out
