@@ -12,6 +12,9 @@ import pytest
 from repro.baselines.hba import HBACluster
 from repro.core.cluster import GHBACluster
 from repro.core.config import GHBAConfig
+from repro.gateway.client import GatewayConfig, MetadataClient
+
+from _bench_json import benchmark_entry, update_bench_json
 
 
 def _config():
@@ -53,6 +56,9 @@ def test_ghba_query_throughput(benchmark, ghba):
 
     result = benchmark(query)
     assert result.found
+    update_bench_json(
+        "BENCH_throughput.json", "ghba_query", benchmark_entry(benchmark)
+    )
 
 
 def test_hba_query_throughput(benchmark, hba):
@@ -64,6 +70,9 @@ def test_hba_query_throughput(benchmark, hba):
 
     result = benchmark(query)
     assert result.found
+    update_bench_json(
+        "BENCH_throughput.json", "hba_query", benchmark_entry(benchmark)
+    )
 
 
 def test_ghba_hot_path_throughput(benchmark, ghba):
@@ -77,3 +86,29 @@ def test_ghba_hot_path_throughput(benchmark, ghba):
 
     result = benchmark(query)
     assert result.level.name == "L1"
+    update_bench_json(
+        "BENCH_throughput.json", "ghba_hot_path", benchmark_entry(benchmark)
+    )
+
+
+def test_gateway_lookup_throughput(benchmark):
+    """Gateway-fronted lookups over a Zipf-like cycle: mostly lease hits."""
+    cluster, paths = _populated(GHBACluster)
+    # Provisioned far above the replay rate: this measures the serving
+    # pipeline, not admission-control shedding.
+    gateway = MetadataClient(
+        cluster, GatewayConfig(rate_per_s=1e8, burst=1e6)
+    )
+    # A short cycle keeps the working set inside the cache, so this
+    # measures the lease fast path plus occasional re-validation.
+    cycle = itertools.cycle(paths[:512])
+    clock = itertools.count()
+
+    def lookup():
+        return gateway.lookup(next(cycle), now=next(clock) * 1e-4)
+
+    response = benchmark(lookup)
+    assert response.found
+    entry = benchmark_entry(benchmark)
+    entry["hit_rate"] = round(gateway.hit_rate(), 4)
+    update_bench_json("BENCH_throughput.json", "gateway_lookup", entry)

@@ -19,8 +19,8 @@ This module ties servers and groups into the full scheme:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.bloom.compressed import transfer_cost_report
 from repro.core.config import GHBAConfig
@@ -72,6 +72,44 @@ class ReconfigReport:
     split: bool = False
     merged: bool = False
     new_group_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One namespace/membership mutation, for cache-coherence listeners.
+
+    ``op`` is ``"create"``, ``"delete"``, ``"rename"`` or
+    ``"server_removed"``.  For renames ``path``/``new_path`` are the old
+    and new *prefixes* (listeners must treat them as subtrees); for the
+    others ``path`` is the exact pathname and ``home_id`` the involved
+    MDS (the departed server for ``server_removed``).
+    """
+
+    op: str
+    path: str = ""
+    new_path: str = ""
+    home_id: Optional[int] = None
+
+
+@dataclass
+class BatchVerifyResult:
+    """Outcome of one multi-key direct verification at a single MDS.
+
+    ``results`` maps each asked path to the record found there (``None``
+    when the server does not hold it).  ``degraded`` is True when the
+    target was unreachable (fault injection); the results are then empty
+    and the caller must fall back to the full query hierarchy.
+    """
+
+    server_id: int
+    results: Dict[str, Optional[FileMetadata]] = field(default_factory=dict)
+    latency_ms: float = 0.0
+    messages: int = 0
+    degraded: bool = False
+
+    @property
+    def found(self) -> int:
+        return sum(1 for record in self.results.values() if record is not None)
 
 
 class GHBACluster:
@@ -130,6 +168,10 @@ class GHBACluster:
         #: Metadata of crashed servers, as persisted on their disks —
         #: recoverable via :meth:`recover_server` (Table 1's recovery).
         self._crashed_stores: Dict[int, List[FileMetadata]] = {}
+        #: Cache-coherence listeners (the gateway tier registers here).
+        #: Empty by default, so the mutation paths pay one truthiness
+        #: check — the NULL_TRACER zero-overhead discipline.
+        self._mutation_listeners: List[Callable[[MutationEvent], None]] = []
         self._bootstrap(num_servers)
 
     def _register_metrics(self, seed: int) -> None:
@@ -281,6 +323,29 @@ class GHBACluster:
         return None
 
     # ------------------------------------------------------------------
+    # Mutation hooks (cache coherence for the gateway tier)
+    # ------------------------------------------------------------------
+    def add_mutation_listener(
+        self, listener: Callable[[MutationEvent], None]
+    ) -> None:
+        """Register a callback fired on every namespace/membership mutation.
+
+        The gateway tier (:mod:`repro.gateway`) uses this to invalidate
+        client-side leases, so a mutation issued *directly* against the
+        cluster still reaches every cache in front of it.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[MutationEvent], None]
+    ) -> None:
+        self._mutation_listeners.remove(listener)
+
+    def _notify(self, event: MutationEvent) -> None:
+        for listener in self._mutation_listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
     def insert_file(
@@ -290,6 +355,31 @@ class GHBACluster:
         if home_id is None:
             home_id = self._rng.choice(sorted(self.servers))
         self.servers[home_id].insert_metadata(meta)
+        if self._mutation_listeners:
+            self._notify(
+                MutationEvent(op="create", path=meta.path, home_id=home_id)
+            )
+        return home_id
+
+    def delete_file(self, path: str) -> Optional[int]:
+        """Remove the metadata record of ``path`` from its home MDS.
+
+        Returns the home server's ID, or ``None`` when the path exists
+        nowhere.  The path's bits linger in the home's Bloom filter until
+        the next rebuild (ordinary staleness — queries now pay a false
+        verification there and resolve NEGATIVE); stale L1 entries are
+        dropped at every origin, like :meth:`rename_subtree` does.
+        """
+        home_id = self.home_of(path)
+        if home_id is None:
+            return None
+        self.servers[home_id].remove_metadata(path)
+        for server in self.servers.values():
+            server.lru.invalidate(path)
+        if self._mutation_listeners:
+            self._notify(
+                MutationEvent(op="delete", path=path, home_id=home_id)
+            )
         return home_id
 
     def populate(
@@ -363,6 +453,12 @@ class GHBACluster:
         for server in self.servers.values():
             for path in all_victims:
                 server.lru.invalidate(path)
+        if renamed and self._mutation_listeners:
+            self._notify(
+                MutationEvent(
+                    op="rename", path=old_prefix, new_path=new_prefix
+                )
+            )
         return renamed
 
     # ------------------------------------------------------------------
@@ -588,6 +684,63 @@ class GHBACluster:
             return finish(QueryLevel.L4, found_home)
         return finish(QueryLevel.NEGATIVE, None)
 
+    def verify_batch(
+        self,
+        server_id: int,
+        paths: Sequence[str],
+        outstanding: int = 0,
+    ) -> BatchVerifyResult:
+        """Multi-key direct verification at one MDS — the gateway's batch path.
+
+        The gateway groups keys whose expired leases predict the same home
+        MDS and re-validates them with *one* round trip: the target probes
+        its local filter and store for every asked path.  This bypasses
+        the L1-L4 walk entirely when the prediction holds; a missing path
+        in ``results`` means the prediction went stale and the caller must
+        fall back to :meth:`query`.
+
+        Never called on the direct query path, so clusters that are not
+        fronted by a gateway stay bit-identical to pre-gateway builds.
+        """
+        if not paths:
+            raise ValueError("verify_batch requires at least one path")
+        net = self.config.network
+        result = BatchVerifyResult(server_id=server_id)
+        unreachable = server_id not in self.servers or (
+            self.faults.enabled and self.faults.is_silenced(server_id)
+        )
+        if unreachable:
+            # The request times out: one message on the wire, no reply.
+            result.degraded = True
+            result.messages = 1
+            result.latency_ms = net.round_trip_ms() + net.queueing_ms(
+                outstanding
+            )
+            self._messages.inc(1)
+            return result
+        server = self.servers[server_id]
+        latency = net.round_trip_ms() + net.queueing_ms(outstanding)
+        meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
+        for path in paths:
+            latency += net.memory_probe_ms
+            if not server.local_filter.query(path):
+                result.results[path] = None
+                continue
+            latency += (
+                meta_fraction * net.memory_record_ms
+                + (1.0 - meta_fraction) * net.disk_access_ms
+            )
+            result.results[path] = server.store.get(path)
+        result.messages = 2
+        result.latency_ms = latency
+        self._messages.inc(2)
+        self.metrics.counter(
+            "ghba_batch_verifies_total",
+            "Multi-key gateway verifications served, by server.",
+            labels=("server",),
+        ).labels(server_id).inc()
+        return result
+
     def _share_lru_hint(self, origin_id: int, path: str, home: int) -> int:
         """Cooperative caching (Section 7 extension): push the resolved
         mapping to a few group peers, warming their L1 arrays.
@@ -807,6 +960,10 @@ class GHBACluster:
         # Drop stale LRU entries pointing at the departed server.
         for remaining in self.servers.values():
             remaining.lru.invalidate_home(server_id)
+        if self._mutation_listeners:
+            self._notify(
+                MutationEvent(op="server_removed", home_id=server_id)
+            )
         self._maybe_merge(report)
         return report
 
@@ -887,6 +1044,10 @@ class GHBACluster:
             report.messages += moved
         for remaining in self.servers.values():
             remaining.lru.invalidate_home(server_id)
+        if self._mutation_listeners:
+            self._notify(
+                MutationEvent(op="server_removed", home_id=server_id)
+            )
         self._maybe_merge(report)
         return report
 

@@ -1,0 +1,52 @@
+"""Client-side metadata gateway: the front-end tier of the MDS fleet.
+
+G-HBA (the paper) optimizes the *server-side* lookup walk; this package
+models the tier real deployments put in front of the MDS fleet so hot
+traffic never reaches it:
+
+- :mod:`repro.gateway.cache` — lease-based client cache (path → home MDS +
+  record) with TTL leases, LRU capacity, negative caching and correct
+  invalidation on namespace mutations (including renamed subtrees).
+- :mod:`repro.gateway.coalesce` — singleflight request coalescing and a
+  per-home-MDS batcher for multi-key verification.
+- :mod:`repro.gateway.admission` — token-bucket admission control with a
+  bounded, deadline-bearing queue; overload sheds with an explicit
+  REJECTED outcome, never silently.
+- :mod:`repro.gateway.hotspot` — sliding-window space-saving heavy-hitter
+  sketch that flags hot paths and shields them (extended leases, pinned
+  against LRU eviction).
+- :mod:`repro.gateway.client` — the :class:`MetadataClient` facade that
+  composes admission → cache → coalescer → cluster and emits gateway
+  metrics/spans through :mod:`repro.obs`.
+
+The gateway follows the repo's zero-overhead-when-disabled discipline:
+nothing here is imported by the cluster hot paths, and a cluster that is
+queried directly behaves bit-identically to a build without this package.
+"""
+
+from repro.gateway.admission import AdmissionController, TokenBucket
+from repro.gateway.cache import CacheLookup, GatewayCache
+from repro.gateway.client import (
+    GatewayConfig,
+    GatewayResponse,
+    MetadataClient,
+    Outcome,
+)
+from repro.gateway.coalesce import CoalescedBatch, HomeBatcher, coalesce
+from repro.gateway.hotspot import HotspotDetector, SpaceSavingSketch
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "CacheLookup",
+    "GatewayCache",
+    "GatewayConfig",
+    "GatewayResponse",
+    "MetadataClient",
+    "Outcome",
+    "CoalescedBatch",
+    "HomeBatcher",
+    "coalesce",
+    "HotspotDetector",
+    "SpaceSavingSketch",
+]

@@ -1,0 +1,347 @@
+"""CLI for the gateway tier.
+
+Usage::
+
+    python -m repro.gateway bench --seed 7
+    python -m repro.gateway bench --servers 20 --files 4000 --ops 6000 \\
+        --clients 8 --profile HP --chaos --json gateway.json
+
+``bench`` replays a synthetic :mod:`repro.traces` workload through a pool
+of concurrent clients fronted by one :class:`~repro.gateway.client.
+MetadataClient`, while a *mirror* cluster (identical seed and
+configuration) serves the same lookups directly — the no-gateway
+baseline.  The report prints cache hit rate, backend-query reduction
+(direct queries / gateway backend requests), shed rate, latency
+percentiles and the hotspot table, and audits **every** cache-served
+answer against the live cluster (zero stale reads is an invariant, not a
+statistic).
+
+Everything runs on seeded RNGs and virtual time, so the same arguments
+always produce byte-identical reports — including under ``--chaos``,
+which runs the replay beneath a seeded fault plan (message loss plus a
+mid-run group partition).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.faults.injector import PlanFaultInjector
+from repro.faults.plan import FaultPlan, Partition
+from repro.gateway.client import GatewayConfig, MetadataClient, Outcome
+from repro.obs.report import gateway_hotspot_report
+from repro.traces.profiles import PROFILES
+from repro.traces.records import MetadataOp
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _percentile(values: List[float], p: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _build_cluster(args, faulted: bool) -> GHBACluster:
+    config = GHBAConfig(
+        max_group_size=args.group_size,
+        expected_files_per_mds=max(256, args.files * 3 // args.servers),
+        lru_capacity=max(256, args.files // 4),
+        lru_filter_bits=1 << 12,
+        seed=args.seed,
+    )
+    faults = None
+    if faulted and args.chaos:
+        island = frozenset(range(min(args.group_size, args.servers // 2)))
+        plan = FaultPlan(
+            seed=args.seed,
+            drop_rate=0.02,
+            partitions=(
+                Partition(
+                    start_s=args.chaos_start_s,
+                    end_s=args.chaos_start_s + args.chaos_window_s,
+                    island=island,
+                ),
+            ),
+        )
+        faults = PlanFaultInjector(plan)
+    return GHBACluster(args.servers, config, seed=args.seed, faults=faults)
+
+
+def run_bench(args) -> Dict[str, object]:
+    """Replay the workload through gateway + direct mirror; return stats."""
+    profile = PROFILES[args.profile]
+    generator = SyntheticTraceGenerator(
+        profile, num_files=args.files, seed=args.seed
+    )
+    records = list(generator.generate(args.ops))
+
+    gateway_cluster = _build_cluster(args, faulted=True)
+    direct_cluster = _build_cluster(args, faulted=False)
+    for cluster in (gateway_cluster, direct_cluster):
+        cluster.populate(generator.paths)
+        cluster.synchronize_replicas(force=True)
+
+    gateway = MetadataClient(
+        gateway_cluster,
+        GatewayConfig(
+            cache_capacity=args.cache_capacity,
+            lease_ttl_s=args.lease_ttl_s,
+            rate_per_s=args.rate_per_s,
+            burst=max(args.clients * 4.0, 64.0),
+            hot_threshold=args.hot_threshold,
+        ),
+    )
+
+    latencies: List[float] = []
+    direct_latencies: List[float] = []
+    outcomes: Dict[str, int] = {}
+    stale_reads = 0
+    mismatches = 0
+    direct_queries = 0
+    degraded_answers = 0
+
+    def audit(response) -> None:
+        """Zero-stale-read invariant: cache answers match live state."""
+        nonlocal stale_reads
+        if not response.from_cache:
+            return
+        live_home = gateway_cluster.home_of(response.path)
+        if response.outcome is Outcome.NEGATIVE_HIT or (
+            response.outcome is Outcome.COALESCED
+            and response.home_id is None
+        ):
+            if live_home is not None:
+                stale_reads += 1
+            return
+        if live_home != response.home_id:
+            stale_reads += 1
+            return
+        live_record = gateway_cluster.servers[live_home].store.get(
+            response.path
+        )
+        if live_record != response.record:
+            stale_reads += 1
+
+    # Replay in ticks of ``clients`` concurrent requests.  Mutations
+    # (create / unlink / rename) apply to both clusters so the mirror
+    # stays equivalent; lookups fan through the gateway pipeline on one
+    # side and hit the cluster directly on the other.
+    tick: List = []
+    now = 0.0
+
+    def flush_tick() -> None:
+        nonlocal direct_queries, degraded_answers, mismatches
+        if not tick:
+            return
+        paths = [record.path for record in tick]
+        responses = gateway.lookup_many(paths, now)
+        for response in responses:
+            outcomes[response.outcome.value] = (
+                outcomes.get(response.outcome.value, 0) + 1
+            )
+            if not response.outcome.is_answer:
+                continue
+            latencies.append(response.latency_ms)
+            if response.degraded:
+                degraded_answers += 1
+            audit(response)
+        # The no-gateway baseline pays one full walk per lookup.
+        answered = {r.path: r for r in responses if r.outcome.is_answer}
+        for path in paths:
+            direct = direct_cluster.query(path)
+            direct_queries += 1
+            direct_latencies.append(direct.latency_ms)
+            response = answered.get(path)
+            if (
+                response is not None
+                and not response.degraded
+                and not direct.degraded
+                and response.home_id != direct.home_id
+            ):
+                mismatches += 1
+        tick.clear()
+
+    for record in records:
+        if gateway_cluster.faults.enabled:
+            gateway_cluster.faults.advance(record.timestamp)
+        if record.op.is_lookup:
+            tick.append(record)
+            if len(tick) >= args.clients:
+                now = record.timestamp
+                flush_tick()
+            continue
+        now = record.timestamp
+        flush_tick()
+        if record.op is MetadataOp.CREATE:
+            created = gateway.create(record.path, now)
+            # Pin the mirror's placement: the clusters' RNG streams have
+            # diverged (queries draw origins), so an independent draw
+            # would scatter the same file onto different homes.
+            direct_cluster.insert_file(
+                gateway_cluster.servers[created.home_id].store.get(
+                    record.path
+                ),
+                home_id=created.home_id,
+            )
+        elif record.op is MetadataOp.UNLINK:
+            gateway.delete(record.path, now)
+            direct_cluster.delete_file(record.path)
+        elif record.op is MetadataOp.RENAME:
+            gateway.rename(record.path, record.new_path, now)
+            direct_cluster.rename_subtree(record.path, record.new_path)
+    now = records[-1].timestamp if records else 0.0
+    flush_tick()
+    # Drain the admission queue to a quiescent state.
+    for step in range(1, 11):
+        drained = gateway.pump(now + step * gateway.config.queue_deadline_s)
+        for response in drained:
+            outcomes[response.outcome.value] = (
+                outcomes.get(response.outcome.value, 0) + 1
+            )
+            if response.outcome.is_answer:
+                latencies.append(response.latency_ms)
+                audit(response)
+        if gateway.admission.queue_depth == 0:
+            break
+
+    submitted = gateway.admission.stats.submitted
+    shed = gateway.admission.stats.shed
+    backend = gateway.backend_queries
+    reduction = direct_queries / backend if backend else float("inf")
+    gateway.refresh_gauges()
+    return {
+        "seed": args.seed,
+        "profile": args.profile,
+        "servers": args.servers,
+        "clients": args.clients,
+        "ops": len(records),
+        "lookups_submitted": submitted,
+        "hit_rate": round(gateway.hit_rate(), 4),
+        "backend_queries": backend,
+        "direct_queries": direct_queries,
+        "backend_reduction": round(reduction, 3),
+        "shed": shed,
+        "shed_rate": round(shed / submitted, 4) if submitted else 0.0,
+        "stale_reads": stale_reads,
+        "home_mismatches": mismatches,
+        "degraded_answers": degraded_answers,
+        "chaos": bool(args.chaos),
+        "outcomes": {k: outcomes[k] for k in sorted(outcomes)},
+        "p50_ms": round(_percentile(latencies, 50), 4),
+        "p99_ms": round(_percentile(latencies, 99), 4),
+        "direct_p50_ms": round(_percentile(direct_latencies, 50), 4),
+        "direct_p99_ms": round(_percentile(direct_latencies, 99), 4),
+        "hotspots": [
+            {"path": h.key, "count": h.count, "error": h.error}
+            for h in gateway.top_hotspots(args.top)
+        ],
+        "_gateway": gateway,  # stripped before serialization
+    }
+
+
+def render_bench(stats: Dict[str, object], top: int) -> str:
+    gateway: MetadataClient = stats["_gateway"]  # type: ignore[assignment]
+    lines = [
+        "== gateway bench ==",
+        f"workload                : {stats['profile']} x {stats['ops']} ops, "
+        f"seed {stats['seed']}, {stats['clients']} clients"
+        + (" (chaos)" if stats["chaos"] else ""),
+        f"lookups submitted       : {stats['lookups_submitted']}",
+        f"cache hit rate          : {stats['hit_rate']:.3f}",
+        f"backend queries         : {stats['backend_queries']} "
+        f"(direct: {stats['direct_queries']})",
+        f"backend reduction       : x{stats['backend_reduction']:.2f}",
+        f"shed (rate)             : {stats['shed']} "
+        f"({stats['shed_rate']:.3f})",
+        f"stale reads             : {stats['stale_reads']}",
+        f"degraded (uncached)     : {stats['degraded_answers']}",
+        f"latency p50/p99 ms      : {stats['p50_ms']:.4f} / "
+        f"{stats['p99_ms']:.4f}",
+        f"direct p50/p99 ms       : {stats['direct_p50_ms']:.4f} / "
+        f"{stats['direct_p99_ms']:.4f}",
+        "outcomes                : "
+        + ", ".join(
+            f"{kind}={count}"
+            for kind, count in stats["outcomes"].items()  # type: ignore[union-attr]
+        ),
+        "",
+        gateway_hotspot_report(gateway, top=top),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_bench(args) -> int:
+    stats = run_bench(args)
+    print(render_bench(stats, top=args.top))
+    failures = []
+    if stats["stale_reads"]:
+        failures.append(f"{stats['stale_reads']} stale reads")
+    if stats["home_mismatches"]:
+        failures.append(
+            f"{stats['home_mismatches']} gateway/direct home mismatches"
+        )
+    stats.pop("_gateway")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote bench stats to {args.json}")
+    if failures:
+        print("FAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="replay a trace through the gateway vs. direct cluster access",
+    )
+    bench.add_argument("--servers", type=_positive_int, default=20)
+    bench.add_argument("--group-size", type=_positive_int, default=5)
+    bench.add_argument("--files", type=_positive_int, default=3_000)
+    bench.add_argument("--ops", type=_positive_int, default=5_000)
+    bench.add_argument("--clients", type=_positive_int, default=8)
+    bench.add_argument(
+        "--profile", choices=sorted(PROFILES), default="HP",
+        help="workload profile (op mix + Zipf skew)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--cache-capacity", type=_positive_int, default=4096)
+    bench.add_argument("--lease-ttl-s", type=float, default=5.0)
+    bench.add_argument("--rate-per-s", type=float, default=2000.0)
+    bench.add_argument("--hot-threshold", type=_positive_int, default=32)
+    bench.add_argument("--top", type=_positive_int, default=5)
+    bench.add_argument(
+        "--chaos", action="store_true",
+        help="run under a seeded fault plan (drops + mid-run partition)",
+    )
+    bench.add_argument("--chaos-start-s", type=float, default=0.5)
+    bench.add_argument("--chaos-window-s", type=float, default=1.0)
+    bench.add_argument("--json", default=None, metavar="FILE.json")
+    bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

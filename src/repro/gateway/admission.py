@@ -1,0 +1,187 @@
+"""Token-bucket admission control with a bounded, deadline-bearing queue.
+
+The gateway protects the MDS fleet from overload: requests beyond the
+provisioned rate are *queued* (up to ``queue_capacity``, each with a
+deadline) and, once the queue is full or a deadline passes, *shed* with an
+explicit REJECTED outcome — never silently dropped.  That explicitness is
+what lets the soak tests and benchmarks reconcile goodput against offered
+load exactly: ``admitted + shed == submitted`` at every instant.
+
+Everything runs on the caller-supplied virtual clock (seconds); nothing
+reads wall time, so a seeded replay is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class TokenBucket:
+    """A classic token bucket on virtual time.
+
+    Parameters
+    ----------
+    rate_per_s:
+        Steady-state refill rate (tokens per virtual second).
+    burst:
+        Bucket capacity — the largest instantaneous burst admitted after
+        an idle period.  The bucket starts full.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now - self._last_refill) * self.rate_per_s,
+            )
+            self._last_refill = now
+
+    def tokens(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+    def take(self, now: float, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens if available; False means over limit."""
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate_per_s}/s, burst={self.burst}, "
+            f"tokens={self._tokens:.2f}@{self._last_refill:.3f}s)"
+        )
+
+
+@dataclass
+class AdmissionStats:
+    """Exact reconciliation tallies: submitted == admitted + shed + queued-now."""
+
+    submitted: int = 0
+    admitted: int = 0
+    queued: int = 0
+    shed_full: int = 0
+    shed_deadline: int = 0
+
+    @property
+    def shed(self) -> int:
+        return self.shed_full + self.shed_deadline
+
+
+class AdmissionController(Generic[T]):
+    """Token bucket + bounded FIFO queue with per-item deadlines.
+
+    Usage per tick::
+
+        admitted, shed = controller.submit_many(items, now)
+        ... serve admitted ...
+        # next tick: drain whatever the refilled bucket now allows
+        admitted, shed = controller.pump(now)
+
+    ``submit_many`` first drains the queue (FIFO fairness: a queued request
+    is always older than a fresh one), then admits fresh items while
+    tokens last, queues the overflow, and sheds what no longer fits.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        queue_capacity: int = 64,
+        queue_deadline_s: float = 1.0,
+    ) -> None:
+        if queue_capacity < 0:
+            raise ValueError(
+                f"queue_capacity must be >= 0, got {queue_capacity}"
+            )
+        if queue_deadline_s <= 0:
+            raise ValueError(
+                f"queue_deadline_s must be positive, got {queue_deadline_s}"
+            )
+        self.bucket = TokenBucket(rate_per_s, burst)
+        self.queue_capacity = queue_capacity
+        self.queue_deadline_s = queue_deadline_s
+        self._queue: Deque[Tuple[float, T]] = deque()  # (deadline, item)
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def _expire(self, now: float) -> List[T]:
+        """Shed queued items whose deadline has passed."""
+        expired: List[T] = []
+        while self._queue and self._queue[0][0] <= now:
+            _, item = self._queue.popleft()
+            expired.append(item)
+            self.stats.shed_deadline += 1
+        return expired
+
+    def pump(self, now: float) -> Tuple[List[T], List[T]]:
+        """Advance the clock: admit queued items as tokens refill.
+
+        Returns ``(admitted, shed)`` — the shed list holds items whose
+        deadline expired before a token arrived.
+        """
+        shed = self._expire(now)
+        admitted: List[T] = []
+        while self._queue and self.bucket.take(now):
+            _, item = self._queue.popleft()
+            admitted.append(item)
+            self.stats.admitted += 1
+        return admitted, shed
+
+    def submit(self, item: T, now: float) -> Tuple[List[T], List[T]]:
+        """Submit one item; returns (admitted, shed) like :meth:`pump`."""
+        return self.submit_many([item], now)
+
+    def submit_many(self, items: List[T], now: float) -> Tuple[List[T], List[T]]:
+        """Submit a tick's worth of items.
+
+        Queue first (FIFO), then fresh arrivals; whatever the bucket
+        cannot cover is queued up to capacity and shed beyond it.
+        """
+        admitted, shed = self.pump(now)
+        for item in items:
+            self.stats.submitted += 1
+            if self.bucket.take(now):
+                self.stats.admitted += 1
+                admitted.append(item)
+            elif len(self._queue) < self.queue_capacity:
+                self.stats.queued += 1
+                self._queue.append((now + self.queue_deadline_s, item))
+            else:
+                self.stats.shed_full += 1
+                shed.append(item)
+        return admitted, shed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def queued_items(self) -> List[T]:
+        return [item for _, item in self._queue]
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(queue={len(self._queue)}/"
+            f"{self.queue_capacity}, stats={self.stats})"
+        )

@@ -1,0 +1,507 @@
+"""The gateway facade: admission → cache → coalescer → cluster.
+
+:class:`MetadataClient` fronts a :class:`~repro.core.cluster.GHBACluster`
+for a pool of clients.  Requests are served in *ticks* — all lookups
+submitted at one virtual instant are admitted, coalesced, batched and
+resolved together, which is the deterministic-simulation model of
+concurrency used throughout this repo.
+
+Pipeline per tick (:meth:`MetadataClient.lookup_many`):
+
+1. **Admission** — the token bucket admits what the provisioned rate
+   allows; overflow queues (bounded, with a deadline) and the rest sheds
+   with an explicit ``REJECTED`` outcome.
+2. **Cache** — fresh leases answer immediately (positive or negative);
+   expired entries contribute a *predicted home* for step 4.
+3. **Coalescing** — same-tick duplicates collapse into one flight whose
+   answer fans out to every waiter (``COALESCED``).
+4. **Batching** — distinct misses predicted onto the same home MDS are
+   re-validated with one multi-key ``verify_batch`` round trip
+   (``BATCHED``); failures fall through to step 5.
+5. **Backend query** — whatever remains walks the full L1-L4 hierarchy
+   (``SERVED``).
+
+Coherence: mutations on the backing cluster (whether issued through this
+client or directly) invalidate affected leases via the cluster's mutation
+hooks — including whole subtrees on rename.  Degraded answers (fault
+injection lost multicast legs) are returned to the caller but **never
+cached**, so a partition cannot poison the gateway.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cluster import GHBACluster, MutationEvent
+from repro.gateway.admission import AdmissionController
+from repro.gateway.cache import GatewayCache
+from repro.gateway.coalesce import HomeBatcher, coalesce
+from repro.gateway.hotspot import HeavyHitter, HotspotDetector
+from repro.metadata.attributes import FileMetadata
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class Outcome(enum.Enum):
+    """How the gateway disposed of one request."""
+
+    HIT = "hit"                    # fresh positive lease
+    NEGATIVE_HIT = "negative_hit"  # fresh negative lease
+    BATCHED = "batched"            # re-validated via multi-key verify
+    SERVED = "served"              # full backend L1-L4 walk
+    COALESCED = "coalesced"        # piggybacked on a same-tick flight
+    QUEUED = "queued"              # parked by admission; completes later
+    REJECTED = "rejected"          # shed by admission control
+
+    @property
+    def is_answer(self) -> bool:
+        return self not in (Outcome.REJECTED, Outcome.QUEUED)
+
+
+@dataclass(frozen=True)
+class GatewayResponse:
+    """One completed (or shed) gateway request.
+
+    ``from_cache`` is True when the answer was served from a lease without
+    consulting the fleet this tick — exactly the responses the stale-read
+    audit in the benchmark re-checks against the live cluster.
+    """
+
+    path: str
+    outcome: Outcome
+    home_id: Optional[int] = None
+    record: Optional[FileMetadata] = None
+    latency_ms: float = 0.0
+    degraded: bool = False
+    from_cache: bool = False
+
+    @property
+    def found(self) -> bool:
+        return self.home_id is not None
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of the gateway tier (all times in virtual seconds)."""
+
+    cache_capacity: int = 4096
+    lease_ttl_s: float = 5.0
+    negative_ttl_s: float = 0.5
+    hot_lease_ttl_s: float = 30.0
+    # Admission control
+    rate_per_s: float = 2000.0
+    burst: float = 200.0
+    queue_capacity: int = 128
+    queue_deadline_s: float = 0.5
+    # Coalescing / batching
+    max_batch: int = 16
+    # Hotspot detection
+    hotspot_capacity: int = 64
+    hotspot_window_s: float = 5.0
+    hot_threshold: int = 32
+    # Client-side cost model: a lease answer costs one local memory probe
+    # equivalent; it never touches the network.
+    cache_hit_latency_ms: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+
+
+class MetadataClient:
+    """Client-facing metadata gateway over a :class:`GHBACluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The backing MDS fleet.  The client registers a mutation listener
+        so *any* namespace mutation — through this facade or directly on
+        the cluster — invalidates affected leases.
+    config:
+        Gateway tunables; defaults are sized for tests.
+    tracer:
+        Optional tracer; gateway spans use ``gw_*`` event kinds and
+        ``GW-<outcome>`` levels.  Defaults to the shared no-op tracer.
+    metrics:
+        Metrics registry; defaults to the cluster's own, so one exporter
+        sees fleet and gateway series side by side.
+    """
+
+    def __init__(
+        self,
+        cluster: GHBACluster,
+        config: Optional[GatewayConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or GatewayConfig()
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else cluster.metrics
+        cfg = self.config
+        self.cache = GatewayCache(
+            capacity=cfg.cache_capacity,
+            lease_ttl_s=cfg.lease_ttl_s,
+            negative_ttl_s=cfg.negative_ttl_s,
+            hot_lease_ttl_s=cfg.hot_lease_ttl_s,
+        )
+        self.admission: AdmissionController[str] = AdmissionController(
+            rate_per_s=cfg.rate_per_s,
+            burst=cfg.burst,
+            queue_capacity=cfg.queue_capacity,
+            queue_deadline_s=cfg.queue_deadline_s,
+        )
+        self.batcher = HomeBatcher(max_batch=cfg.max_batch)
+        self.hotspots = HotspotDetector(
+            capacity=cfg.hotspot_capacity,
+            window_s=cfg.hotspot_window_s,
+            hot_threshold=cfg.hot_threshold,
+        )
+        self.backend_queries = 0  # full walks + batch round trips
+        self._register_metrics()
+        cluster.add_mutation_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        self._requests = m.counter(
+            "gateway_requests_total",
+            "Requests submitted to the gateway, by operation.",
+            labels=("op",),
+        )
+        self._cache_hits = m.counter(
+            "gateway_cache_hits_total",
+            "Lookups answered from a fresh lease, by kind.",
+            labels=("kind",),
+        )
+        self._coalesced = m.counter(
+            "gateway_coalesced_total",
+            "Lookups that piggybacked on a same-tick flight.",
+        )
+        self._batched = m.counter(
+            "gateway_batched_total",
+            "Lookups re-validated via a multi-key batch verify.",
+        )
+        self._backend = m.counter(
+            "gateway_backend_queries_total",
+            "Requests the gateway sent to the MDS fleet, by kind.",
+            labels=("kind",),
+        )
+        self._shed = m.counter(
+            "gateway_shed_total",
+            "Requests shed by admission control, by cause.",
+            labels=("cause",),
+        )
+        self._queued = m.counter(
+            "gateway_queued_total",
+            "Requests parked in the admission queue.",
+        )
+        self._invalidations = m.counter(
+            "gateway_invalidations_total",
+            "Cache leases invalidated, by cause.",
+            labels=("cause",),
+        )
+        self._uncacheable = m.counter(
+            "gateway_degraded_uncached_total",
+            "Degraded backend answers returned but not cached.",
+        )
+
+    def refresh_gauges(self) -> None:
+        """Point-in-time gateway gauges (hit rate, occupancy, hot set)."""
+        m = self.metrics
+        m.gauge(
+            "gateway_hit_rate", "Fresh-lease hit rate over all probes."
+        ).set(self.cache.hit_rate())
+        m.gauge(
+            "gateway_cache_entries", "Leases currently cached."
+        ).set(len(self.cache))
+        m.gauge(
+            "gateway_hot_paths", "Paths currently flagged hot."
+        ).set(len(self.hotspots.hot_keys()))
+        m.gauge(
+            "gateway_queue_depth", "Requests waiting in the admission queue."
+        ).set(self.admission.queue_depth)
+
+    # ------------------------------------------------------------------
+    # Coherence: cluster mutation hooks
+    # ------------------------------------------------------------------
+    def _on_mutation(self, event: MutationEvent) -> None:
+        cache = self.cache
+        before = cache.stats.invalidations.copy()
+        if event.op == "rename":
+            cache.invalidate_subtree(event.path, cause="rename")
+            cache.invalidate_subtree(event.new_path, cause="rename")
+        elif event.op in ("create", "delete"):
+            cache.invalidate(event.path, cause=event.op)
+        elif event.op == "server_removed":
+            cache.invalidate_home(event.home_id, cause="server_lost")
+        for cause, count in cache.stats.invalidations.items():
+            delta = count - before.get(cause, 0)
+            if delta:
+                self._invalidations.labels(cause).inc(delta)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, path: str, now: float = 0.0) -> GatewayResponse:
+        """Resolve one path (a tick of size one); REJECTED when shed."""
+        responses = self.lookup_many([path], now)
+        for response in responses:
+            if response.path == path:
+                return response
+        # The request was queued; it completes on a later tick (or sheds
+        # with REJECTED once its deadline passes).
+        return GatewayResponse(path=path, outcome=Outcome.QUEUED)
+
+    def lookup_many(
+        self, paths: Sequence[str], now: float = 0.0
+    ) -> List[GatewayResponse]:
+        """Resolve a tick of concurrent lookups through the full pipeline.
+
+        Returns completions for this tick: freshly admitted requests,
+        queue drains whose token arrived, and explicit REJECTED responses
+        for everything shed.  Queued requests are absent from the return
+        and complete on a later tick.
+        """
+        for _ in paths:
+            self._requests.labels("lookup").inc()
+        stats = self.admission.stats
+        before = (stats.shed_full, stats.shed_deadline, stats.queued)
+        admitted, shed = self.admission.submit_many(list(paths), now)
+        responses = self._account_shed(shed, before)
+        if not admitted:
+            return responses
+        responses.extend(self._serve_tick(admitted, now))
+        return responses
+
+    def _account_shed(
+        self,
+        shed: List[str],
+        before: Tuple[int, int, int],
+    ) -> List[GatewayResponse]:
+        """REJECTED responses + exact shed/queued metric reconciliation."""
+        stats = self.admission.stats
+        full_delta = stats.shed_full - before[0]
+        deadline_delta = stats.shed_deadline - before[1]
+        queued_delta = stats.queued - before[2]
+        if full_delta:
+            self._shed.labels("queue_full").inc(full_delta)
+        if deadline_delta:
+            self._shed.labels("deadline").inc(deadline_delta)
+        if queued_delta:
+            self._queued.inc(queued_delta)
+        return [
+            GatewayResponse(path=path, outcome=Outcome.REJECTED)
+            for path in shed
+        ]
+
+    def pump(self, now: float) -> List[GatewayResponse]:
+        """Advance the admission queue without submitting new work."""
+        stats = self.admission.stats
+        before = (stats.shed_full, stats.shed_deadline, stats.queued)
+        admitted, shed = self.admission.pump(now)
+        responses = self._account_shed(shed, before)
+        if admitted:
+            responses.extend(self._serve_tick(admitted, now))
+        return responses
+
+    # ------------------------------------------------------------------
+    # The serving pipeline
+    # ------------------------------------------------------------------
+    def _serve_tick(
+        self, paths: List[str], now: float
+    ) -> List[GatewayResponse]:
+        cfg = self.config
+        for path in paths:
+            self.hotspots.observe(path, now)
+        # ---- cache ----------------------------------------------------
+        answered: Dict[str, GatewayResponse] = {}
+        predictions: List[Tuple[str, Optional[int]]] = []
+        flight = coalesce(paths)
+        for path in flight.leaders:
+            lookup = self.cache.get(path, now)
+            if lookup.hit:
+                if lookup.negative:
+                    self._cache_hits.labels("negative").inc()
+                    answered[path] = GatewayResponse(
+                        path=path,
+                        outcome=Outcome.NEGATIVE_HIT,
+                        latency_ms=cfg.cache_hit_latency_ms,
+                        from_cache=True,
+                    )
+                else:
+                    self._cache_hits.labels("positive").inc()
+                    answered[path] = GatewayResponse(
+                        path=path,
+                        outcome=Outcome.HIT,
+                        home_id=lookup.home_id,
+                        record=lookup.record,
+                        latency_ms=cfg.cache_hit_latency_ms,
+                        from_cache=True,
+                    )
+                continue
+            predictions.append((path, lookup.predicted_home))
+        # ---- batched re-validation ------------------------------------
+        batches, unroutable = self.batcher.plan(predictions)
+        fallthrough: List[str] = list(unroutable)
+        for batch in batches:
+            outcome = self.cluster.verify_batch(batch.home_id, batch.paths)
+            self.backend_queries += 1
+            self._backend.labels("batch").inc()
+            if outcome.degraded:
+                # The predicted home did not answer; every key in the
+                # batch must walk the full hierarchy instead.
+                fallthrough.extend(batch.paths)
+                continue
+            for path in batch.paths:
+                record = outcome.results.get(path)
+                if record is None:
+                    # Prediction went stale (migrated / deleted): full walk.
+                    fallthrough.append(path)
+                    continue
+                self._batched.inc()
+                hot = self.hotspots.is_hot(path)
+                self.cache.put(path, batch.home_id, record, now, hot=hot)
+                answered[path] = GatewayResponse(
+                    path=path,
+                    outcome=Outcome.BATCHED,
+                    home_id=batch.home_id,
+                    record=record,
+                    latency_ms=outcome.latency_ms,
+                )
+        # ---- full backend walks ---------------------------------------
+        for path in fallthrough:
+            result = self.cluster.query(path)
+            self.backend_queries += 1
+            self._backend.labels("query").inc()
+            record = None
+            if result.home_id is not None:
+                record = self.cluster.servers[result.home_id].store.get(path)
+            if result.degraded:
+                # Fault-degraded answers are served but never cached: an
+                # incomplete multicast may have missed the true home.
+                self._uncacheable.inc()
+            elif result.home_id is not None:
+                hot = self.hotspots.is_hot(path)
+                self.cache.put(path, result.home_id, record, now, hot=hot)
+            else:
+                self.cache.put_negative(path, now)
+            answered[path] = GatewayResponse(
+                path=path,
+                outcome=Outcome.SERVED,
+                home_id=result.home_id,
+                record=record,
+                latency_ms=result.latency_ms,
+                degraded=result.degraded,
+            )
+        # ---- shield refresh: pin what is hot --------------------------
+        for path in self.hotspots.hot_keys():
+            self.cache.pin(path, now)
+        # ---- gateway spans (one per leader flight) --------------------
+        if self.tracer.enabled:
+            for path in flight.leaders:
+                response = answered[path]
+                span = self.tracer.start_span(path, -1)
+                span.event(
+                    "gw_cache",
+                    hit=response.from_cache,
+                    latency_ms=(
+                        response.latency_ms if response.from_cache else 0.0
+                    ),
+                )
+                if not response.from_cache:
+                    span.event(
+                        "gw_backend",
+                        target=response.home_id,
+                        latency_ms=response.latency_ms,
+                        messages=2,
+                        batched=response.outcome is Outcome.BATCHED,
+                    )
+                span.finish(
+                    f"GW-{response.outcome.name}",
+                    response.home_id,
+                    response.latency_ms,
+                    0 if response.from_cache else 2,
+                )
+        # ---- fan out to waiters ---------------------------------------
+        responses: List[GatewayResponse] = [None] * len(paths)  # type: ignore[list-item]
+        for leader, indices in flight.waiters.items():
+            base = answered[leader]
+            for position, index in enumerate(indices):
+                if position == 0:
+                    responses[index] = base
+                else:
+                    self._coalesced.inc()
+                    responses[index] = GatewayResponse(
+                        path=base.path,
+                        outcome=Outcome.COALESCED,
+                        home_id=base.home_id,
+                        record=base.record,
+                        latency_ms=base.latency_ms,
+                        degraded=base.degraded,
+                        from_cache=base.from_cache,
+                    )
+        return list(responses)
+
+    # ------------------------------------------------------------------
+    # Mutations (write path)
+    # ------------------------------------------------------------------
+    def create(
+        self, path: str, now: float = 0.0, home_id: Optional[int] = None
+    ) -> GatewayResponse:
+        """Create ``path`` on the cluster; write-through the new lease."""
+        self._requests.labels("create").inc()
+        inode = sum(s.file_count for s in self.cluster.servers.values())
+        home = self.cluster.insert_file(
+            FileMetadata(path=path, inode=inode), home_id=home_id
+        )
+        # The mutation hook dropped any (negative) lease; write through.
+        record = self.cluster.servers[home].store.get(path)
+        self.cache.put(path, home, record, now)
+        return GatewayResponse(
+            path=path, outcome=Outcome.SERVED, home_id=home, record=record
+        )
+
+    def delete(self, path: str, now: float = 0.0) -> GatewayResponse:
+        """Delete ``path``; a negative lease remembers the absence."""
+        self._requests.labels("delete").inc()
+        home = self.cluster.delete_file(path)
+        if home is not None:
+            self.cache.put_negative(path, now)
+        return GatewayResponse(
+            path=path,
+            outcome=Outcome.SERVED if home is not None else Outcome.NEGATIVE_HIT,
+            home_id=home,
+        )
+
+    def rename(
+        self, old_prefix: str, new_prefix: str, now: float = 0.0
+    ) -> int:
+        """Rename a subtree; the mutation hook invalidates both prefixes."""
+        self._requests.labels("rename").inc()
+        return self.cluster.rename_subtree(old_prefix, new_prefix)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate()
+
+    def shed_total(self) -> int:
+        return self.admission.stats.shed
+
+    def top_hotspots(self, k: int = 5) -> List[HeavyHitter]:
+        return self.hotspots.top_k(k)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetadataClient(cache={len(self.cache)}, "
+            f"backend_queries={self.backend_queries}, "
+            f"hit_rate={self.hit_rate():.3f})"
+        )

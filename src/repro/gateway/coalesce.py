@@ -1,0 +1,116 @@
+"""Singleflight coalescing and per-home batching of cache misses.
+
+The gateway serves requests in *ticks*: all requests submitted by the
+client pool at the same virtual instant are processed together (the
+deterministic-simulation analogue of "concurrent").  Two collapse rules
+apply before anything reaches the MDS fleet:
+
+- **Singleflight** (:func:`coalesce`): requests for the *same* key in one
+  tick collapse into a single leader; the backend is asked once and the
+  answer fans out to every waiter.  This is the classic thundering-herd
+  shield — when a hot path's lease expires, one query refreshes it for
+  everyone.
+- **Home batching** (:class:`HomeBatcher`): distinct keys whose expired
+  leases predict the *same* home MDS are grouped into one multi-key
+  verification request (``verify_batch`` on the backing cluster; the
+  prototype speaks :data:`~repro.prototype.messages.MessageKind.VERIFY_BATCH`
+  on the wire).  One round trip re-validates the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Outcome of singleflight grouping for one tick.
+
+    ``leaders`` preserves first-seen order (determinism); ``waiters`` maps
+    each leader key to the indices of *all* requests for it, leader
+    included, so fan-out is a plain lookup.
+    """
+
+    leaders: Tuple[Hashable, ...]
+    waiters: Dict[Hashable, List[int]]
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that piggybacked on another request's flight."""
+        return sum(len(idx) - 1 for idx in self.waiters.values())
+
+
+def coalesce(keys: Sequence[Hashable]) -> CoalesceResult:
+    """Collapse same-tick duplicate keys into leaders + waiter lists."""
+    waiters: Dict[Hashable, List[int]] = {}
+    leaders: List[Hashable] = []
+    for index, key in enumerate(keys):
+        slot = waiters.get(key)
+        if slot is None:
+            waiters[key] = [index]
+            leaders.append(key)
+        else:
+            slot.append(index)
+    return CoalesceResult(leaders=tuple(leaders), waiters=waiters)
+
+
+@dataclass(frozen=True)
+class CoalescedBatch:
+    """One multi-key request destined for a single home MDS."""
+
+    home_id: int
+    paths: Tuple[str, ...]
+
+
+class HomeBatcher:
+    """Group keys by predicted home MDS into bounded multi-key requests.
+
+    Parameters
+    ----------
+    max_batch:
+        Upper bound on keys per request (a real wire message has a size
+        budget; oversized groups split into several batches).
+    """
+
+    def __init__(self, max_batch: int = 16) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+
+    def plan(
+        self, predictions: Iterable[Tuple[str, Optional[int]]]
+    ) -> Tuple[List[CoalescedBatch], List[str]]:
+        """Split ``(path, predicted_home)`` pairs into batches + leftovers.
+
+        Paths without a prediction (``None``) cannot be batched — they must
+        walk the full L1-L4 hierarchy — and are returned as leftovers.
+        Batch order follows first appearance of each home (determinism).
+        """
+        by_home: Dict[int, List[str]] = {}
+        home_order: List[int] = []
+        unroutable: List[str] = []
+        for path, home in predictions:
+            if home is None:
+                unroutable.append(path)
+                continue
+            bucket = by_home.get(home)
+            if bucket is None:
+                by_home[home] = [path]
+                home_order.append(home)
+            else:
+                bucket.append(path)
+        batches: List[CoalescedBatch] = []
+        for home in home_order:
+            paths = by_home[home]
+            for start in range(0, len(paths), self.max_batch):
+                batches.append(
+                    CoalescedBatch(
+                        home_id=home,
+                        paths=tuple(paths[start : start + self.max_batch]),
+                    )
+                )
+        return batches, unroutable
+
+    def __repr__(self) -> str:
+        return f"HomeBatcher(max_batch={self.max_batch})"

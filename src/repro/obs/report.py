@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, List
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.cluster import GHBACluster
     from repro.core.metrics import ClusterSummary
+    from repro.gateway.client import MetadataClient
 
 
 def render_summary(summary: "ClusterSummary") -> str:
@@ -169,8 +170,47 @@ def hotspot_report(cluster: "GHBACluster", top: int = 5) -> str:
     return "\n".join(lines)
 
 
-def render_report(cluster: "GHBACluster", top: int = 5) -> str:
-    """The full dashboard: health summary plus hotspot ranking."""
+def gateway_hotspot_report(gateway: "MetadataClient", top: int = 5) -> str:
+    """The gateway tier's heavy-hitter table: hot paths and shield state.
+
+    Rows come from the sliding-window space-saving sketch
+    (:mod:`repro.gateway.hotspot`); ``est`` is the windowed request
+    estimate, ``err`` its maximum over-count, ``shielded`` whether the
+    path currently holds a pinned, extended lease in the gateway cache.
+    """
+    lines = [f"-- hotspots: gateway paths (top {top} by request share) --"]
+    hitters = gateway.top_hotspots(top)
+    if not hitters:
+        lines.append("(no gateway traffic observed)")
+        return "\n".join(lines)
+    pinned = set(gateway.cache.pinned_paths())
+    lines.append("est    err  hot  shielded  path")
+    for hitter in hitters:
+        hot = "yes" if gateway.hotspots.is_hot(hitter.key) else "no"
+        shielded = "yes" if hitter.key in pinned else "no"
+        lines.append(
+            f"{hitter.count:>5}  {hitter.error:>3}  {hot:>3}  "
+            f"{shielded:>8}  {hitter.key}"
+        )
+    lines.append(
+        f"cache: {len(gateway.cache)} leases, "
+        f"hit rate {gateway.hit_rate():.3f}, "
+        f"{len(pinned)} shielded, "
+        f"shed {gateway.shed_total()}"
+    )
+    return "\n".join(lines)
+
+
+def render_report(
+    cluster: "GHBACluster",
+    top: int = 5,
+    gateway: "MetadataClient" = None,
+) -> str:
+    """The full dashboard: health summary plus hotspot ranking.
+
+    When a gateway client fronts the cluster, pass it as ``gateway`` to
+    append the gateway-tier hotspots section.
+    """
     from repro.core.metrics import summarize  # lazy: avoids import cycle
 
     refresh = getattr(cluster, "refresh_gauges", None)
@@ -184,4 +224,7 @@ def render_report(cluster: "GHBACluster", top: int = 5) -> str:
         "",
         hotspot_report(cluster, top=top),
     ]
+    if gateway is not None:
+        gateway.refresh_gauges()
+        sections.extend(["", gateway_hotspot_report(gateway, top=top)])
     return "\n".join(sections)

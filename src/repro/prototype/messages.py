@@ -18,6 +18,7 @@ class MessageKind(enum.Enum):
     PROBE_LOCAL = "probe_local"      # combined L1 + L2 probe at the origin
     PROBE_SEGMENT = "probe_segment"  # L2 probe (segment array + local filter)
     VERIFY = "verify"                # home-MDS verification (filter + store)
+    VERIFY_BATCH = "verify_batch"    # multi-key verification (gateway batch)
     INSERT = "insert"                # become home for a metadata record
     HOST_REPLICA = "host_replica"    # start hosting a BF replica
     DROP_REPLICA = "drop_replica"    # stop hosting a BF replica

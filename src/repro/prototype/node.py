@@ -13,6 +13,7 @@ message flow itself runs concurrently across real threads.
 from __future__ import annotations
 
 import threading
+from typing import Dict
 
 from repro.core.config import GHBAConfig
 from repro.core.server import CONSUMER_METADATA, MetadataServer
@@ -118,6 +119,7 @@ class MDSNode(threading.Thread):
             MessageKind.SEND_LOCAL_TO: self._on_send_local_to,
             MessageKind.EXCHANGE_REPLICA: self._on_exchange_replica,
             MessageKind.VERIFY: self._on_verify,
+            MessageKind.VERIFY_BATCH: self._on_verify_batch,
             MessageKind.INSERT: self._on_insert,
             MessageKind.HOST_REPLICA: self._on_host_replica,
             MessageKind.DROP_REPLICA: self._on_drop_replica,
@@ -237,6 +239,26 @@ class MDSNode(threading.Thread):
             home_id=self.node_id if meta is not None else None,
             finish_vtime=finish,
         )
+
+    def _on_verify_batch(self, message: Message) -> Message:
+        """Multi-key verification: one request, one filter+store pass per key.
+
+        The gateway tier batches keys predicted onto this node into a
+        single message; the reply maps each path to whether (and what)
+        this node holds.  Service time charges one probe per key plus a
+        record fetch per positive, all inside one queued service slot —
+        that is the batching win over per-key VERIFY round trips.
+        """
+        paths = message.payload["paths"]
+        service_ms = 0.0
+        found: Dict[str, bool] = {}
+        for path in paths:
+            positive = self.server.local_filter.query(path)
+            service_ms += self._verify_ms(positive)
+            meta = self.server.store.get(path) if positive else None
+            found[path] = meta is not None
+        finish = self._serve(message.arrival_vtime, service_ms)
+        return message.reply(found=found, finish_vtime=finish)
 
     def _on_insert(self, message: Message) -> Message:
         meta: FileMetadata = message.payload["meta"]

@@ -1,0 +1,59 @@
+"""Unit tests for singleflight coalescing and home batching."""
+
+import pytest
+
+from repro.gateway.coalesce import CoalescedBatch, HomeBatcher, coalesce
+
+
+class TestCoalesce:
+    def test_distinct_keys_all_lead(self):
+        flight = coalesce(["/a", "/b", "/c"])
+        assert flight.leaders == ("/a", "/b", "/c")
+        assert flight.coalesced == 0
+
+    def test_duplicates_collapse_onto_leader(self):
+        flight = coalesce(["/a", "/b", "/a", "/a", "/b"])
+        assert flight.leaders == ("/a", "/b")
+        assert flight.waiters["/a"] == [0, 2, 3]
+        assert flight.waiters["/b"] == [1, 4]
+        assert flight.coalesced == 3
+
+    def test_leader_order_is_first_seen(self):
+        flight = coalesce(["/z", "/a", "/z"])
+        assert flight.leaders == ("/z", "/a")
+
+    def test_empty_tick(self):
+        flight = coalesce([])
+        assert flight.leaders == ()
+        assert flight.coalesced == 0
+
+
+class TestHomeBatcher:
+    def test_groups_by_home_in_first_seen_order(self):
+        batcher = HomeBatcher(max_batch=16)
+        batches, unroutable = batcher.plan(
+            [("/a", 2), ("/b", 1), ("/c", 2), ("/d", 1)]
+        )
+        assert batches == [
+            CoalescedBatch(home_id=2, paths=("/a", "/c")),
+            CoalescedBatch(home_id=1, paths=("/b", "/d")),
+        ]
+        assert unroutable == []
+
+    def test_unpredicted_paths_are_unroutable(self):
+        batcher = HomeBatcher()
+        batches, unroutable = batcher.plan([("/a", None), ("/b", 3)])
+        assert unroutable == ["/a"]
+        assert batches == [CoalescedBatch(home_id=3, paths=("/b",))]
+
+    def test_oversized_groups_split(self):
+        batcher = HomeBatcher(max_batch=2)
+        batches, _ = batcher.plan([(f"/f{i}", 7) for i in range(5)])
+        assert [b.paths for b in batches] == [
+            ("/f0", "/f1"), ("/f2", "/f3"), ("/f4",)
+        ]
+        assert all(b.home_id == 7 for b in batches)
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            HomeBatcher(max_batch=0)
