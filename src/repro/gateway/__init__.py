@@ -18,6 +18,12 @@ traffic never reaches it:
 - :mod:`repro.gateway.client` — the :class:`MetadataClient` facade that
   composes admission → cache → coalescer → cluster and emits gateway
   metrics/spans through :mod:`repro.obs`.
+- :mod:`repro.gateway.cohort` — a distributed cohort of N gateways
+  fronting one fleet, exchanging versioned mutation-invalidation records
+  over the fault-injectable prototype transport, with anti-entropy
+  catch-up and a TTL clamp bounding staleness under partitions.
+- :mod:`repro.gateway.staleness` — the staleness-window auditor shared
+  by the cohort bench and the correctness harness.
 
 The gateway follows the repo's zero-overhead-when-disabled discipline:
 nothing here is imported by the cluster hot paths, and a cluster that is
@@ -33,7 +39,15 @@ from repro.gateway.client import (
     Outcome,
 )
 from repro.gateway.coalesce import CoalescedBatch, HomeBatcher, coalesce
+from repro.gateway.cohort import (
+    BroadcastResult,
+    CohortConfig,
+    CohortMember,
+    GatewayCohort,
+    InvalidationRecord,
+)
 from repro.gateway.hotspot import HotspotDetector, SpaceSavingSketch
+from repro.gateway.staleness import StaleRead, StalenessAuditor
 
 __all__ = [
     "AdmissionController",
@@ -47,6 +61,13 @@ __all__ = [
     "CoalescedBatch",
     "HomeBatcher",
     "coalesce",
+    "BroadcastResult",
+    "CohortConfig",
+    "CohortMember",
+    "GatewayCohort",
+    "InvalidationRecord",
     "HotspotDetector",
     "SpaceSavingSketch",
+    "StaleRead",
+    "StalenessAuditor",
 ]

@@ -5,6 +5,7 @@ Usage::
     python -m repro.gateway bench --seed 7
     python -m repro.gateway bench --servers 20 --files 4000 --ops 6000 \\
         --clients 8 --profile HP --chaos --json gateway.json
+    python -m repro.gateway bench --cohort 4 --json BENCH_cohort.json
 
 ``bench`` replays a synthetic :mod:`repro.traces` workload through a pool
 of concurrent clients fronted by one :class:`~repro.gateway.client.
@@ -15,6 +16,18 @@ baseline.  The report prints cache hit rate, backend-query reduction
 percentiles and the hotspot table, and audits **every** cache-served
 answer against the live cluster (zero stale reads is an invariant, not a
 statistic).
+
+``bench --cohort N`` switches to the distributed-cohort experiment: N
+gateways front the fleet, kept coherent by the invalidation multicast of
+:mod:`repro.gateway.cohort` under a seeded fault plan (message loss,
+delays, duplicates, and a mid-run partition islanding half the
+gateways).  The baseline is N *independent* gateways replaying the same
+trace with their lease TTL clamped to the cohort's staleness bound — the
+only way an invalidation-free deployment can promise the same bound.
+Both sides are audited by the shared
+:class:`~repro.gateway.staleness.StalenessAuditor`; the report shows
+staleness p99, invalidation traffic, and backend-query reduction, and
+the bench exits nonzero on any staleness-bound violation.
 
 Everything runs on seeded RNGs and virtual time, so the same arguments
 always produce byte-identical reports — including under ``--chaos``,
@@ -28,11 +41,13 @@ import argparse
 import json
 from typing import Dict, List, Optional
 
-from repro.core.cluster import GHBACluster
+from repro.core.cluster import GHBACluster, MutationEvent
 from repro.core.config import GHBAConfig
 from repro.faults.injector import PlanFaultInjector
 from repro.faults.plan import FaultPlan, Partition
 from repro.gateway.client import GatewayConfig, MetadataClient, Outcome
+from repro.gateway.cohort import CohortConfig, GatewayCohort
+from repro.gateway.staleness import StalenessAuditor
 from repro.obs.report import gateway_hotspot_report
 from repro.traces.profiles import PROFILES
 from repro.traces.records import MetadataOp
@@ -252,6 +267,265 @@ def run_bench(args) -> Dict[str, object]:
     }
 
 
+def _cohort_fault_plan(seed: int, size: int, duration_s: float) -> FaultPlan:
+    """The cohort bench's canned chaos: lossy, duplicating links plus a
+    mid-run partition islanding half the gateways."""
+    partitions = ()
+    if size > 1 and duration_s > 0:
+        island = frozenset(range(max(1, size // 2)))
+        partitions = (
+            Partition(
+                start_s=duration_s * 0.35,
+                end_s=duration_s * 0.6,
+                island=island,
+            ),
+        )
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.05,
+        delay_rate=0.10,
+        delay_ms_min=0.5,
+        delay_ms_max=3.0,
+        duplicate_rate=0.05,
+        partitions=partitions,
+    )
+
+
+def run_cohort_bench(args) -> Dict[str, object]:
+    """Cohort-with-multicast vs N independent gateways on one trace.
+
+    Both deployments promise the same staleness bound; the cohort keeps
+    it with invalidations (long leases stay safe), the independents by
+    clamping every lease TTL to the bound.  The difference in backend
+    queries is the value of the protocol.
+    """
+    profile = PROFILES[args.profile]
+    generator = SyntheticTraceGenerator(
+        profile,
+        num_files=args.files,
+        seed=args.seed,
+        ops_per_second=args.trace_rate,
+    )
+    records = list(generator.generate(args.ops))
+    duration = records[-1].timestamp if records else 0.0
+    size = args.cohort
+
+    cohort_config = CohortConfig(
+        heartbeat_interval_s=args.heartbeat_s,
+        suspect_after_s=args.suspect_after_s,
+        ttl_clamp_s=args.ttl_clamp_s,
+        gateway=GatewayConfig(
+            cache_capacity=args.cache_capacity,
+            lease_ttl_s=args.lease_ttl_s,
+            # Invalidation multicast makes long negative leases safe too:
+            # a create that would flip the answer is broadcast like any
+            # other mutation.  The independent baseline cannot do this and
+            # must clamp negatives to the bound below.
+            negative_ttl_s=args.lease_ttl_s,
+            rate_per_s=args.rate_per_s,
+            burst=max(args.clients * 4.0, 64.0),
+            hot_threshold=args.hot_threshold,
+        ),
+    )
+    bound = cohort_config.staleness_bound_s
+    plan = _cohort_fault_plan(args.seed, size, duration)
+
+    # ---- cohort replay ------------------------------------------------
+    cohort_cluster = _build_cluster(args, faulted=False)
+    cohort_cluster.populate(generator.paths)
+    cohort_cluster.synchronize_replicas(force=True)
+    cohort = GatewayCohort(
+        cohort_cluster,
+        size,
+        cohort_config,
+        faults=PlanFaultInjector(plan, metrics=cohort_cluster.metrics),
+    )
+    auditor = StalenessAuditor(cohort_cluster, bound)
+    # Pinned placements so the independent mirror replays identically.
+    created_homes: Dict[int, int] = {}
+    step_s = cohort_config.heartbeat_interval_s / 2.0
+    next_step = 0.0
+
+    def advance_cohort(now: float) -> None:
+        nonlocal next_step
+        while next_step <= now:
+            for member_id, responses in cohort.step(next_step).items():
+                for response in responses:
+                    auditor.audit(response, next_step, member_id)
+            next_step += step_s
+
+    for index, record in enumerate(records):
+        now = record.timestamp
+        advance_cohort(now)
+        member = cohort.members[index % size]
+        if record.op.is_lookup:
+            response = member.lookup(record.path, now)
+            auditor.audit(response, now, member.member_id)
+        elif record.op is MetadataOp.CREATE:
+            created = member.create(record.path, now)
+            created_homes[index] = created.home_id
+            auditor.note_mutation("create", record.path, now)
+        elif record.op is MetadataOp.UNLINK:
+            member.delete(record.path, now)
+            auditor.note_mutation("delete", record.path, now)
+        elif record.op is MetadataOp.RENAME:
+            member.rename(record.path, record.new_path, now)
+            auditor.note_mutation(
+                "rename", record.path, now, new_path=record.new_path
+            )
+    advance_cohort(duration)
+    cohort.settle(duration)
+
+    # ---- independent-gateways replay ----------------------------------
+    indep_cluster = _build_cluster(args, faulted=False)
+    indep_cluster.populate(generator.paths)
+    indep_cluster.synchronize_replicas(force=True)
+    indep_config = GatewayConfig(
+        cache_capacity=args.cache_capacity,
+        lease_ttl_s=min(args.lease_ttl_s, bound),
+        negative_ttl_s=min(GatewayConfig().negative_ttl_s, bound),
+        hot_lease_ttl_s=bound,
+        rate_per_s=args.rate_per_s,
+        burst=max(args.clients * 4.0, 64.0),
+        hot_threshold=args.hot_threshold,
+    )
+    independents = [
+        MetadataClient(
+            indep_cluster, indep_config, register_mutation_hook=False
+        )
+        for _ in range(size)
+    ]
+    indep_auditor = StalenessAuditor(indep_cluster, bound)
+    for index, record in enumerate(records):
+        now = record.timestamp
+        client = independents[index % size]
+        if record.op.is_lookup:
+            response = client.lookup(record.path, now)
+            indep_auditor.audit(response, now, index % size)
+        elif record.op is MetadataOp.CREATE:
+            client.create(record.path, now, home_id=created_homes[index])
+            indep_auditor.note_mutation("create", record.path, now)
+        elif record.op is MetadataOp.UNLINK:
+            client.delete(record.path, now)
+            indep_auditor.note_mutation("delete", record.path, now)
+        elif record.op is MetadataOp.RENAME:
+            client.rename(record.path, record.new_path, now)
+            # An independent gateway still invalidates on its *own*
+            # mutations; without the cluster hook the rename event must
+            # be applied explicitly (the cohort member does the same).
+            client.apply_mutation(
+                MutationEvent(
+                    op="rename", path=record.path, new_path=record.new_path
+                )
+            )
+            indep_auditor.note_mutation(
+                "rename", record.path, now, new_path=record.new_path
+            )
+
+    cohort_backend = cohort.backend_queries
+    indep_backend = sum(c.backend_queries for c in independents)
+    reduction = (
+        indep_backend / cohort_backend if cohort_backend else float("inf")
+    )
+    mutations = sum(1 for r in records if r.op.mutates_namespace)
+    counters = cohort.counter_snapshot()
+
+    def total(name: str) -> int:
+        return int(sum(counters.get(name, {}).values()))
+
+    return {
+        "seed": args.seed,
+        "profile": args.profile,
+        "servers": args.servers,
+        "cohort": size,
+        "ops": len(records),
+        "mutations": mutations,
+        "duration_s": round(duration, 4),
+        "staleness_bound_s": round(bound, 4),
+        "cohort_audit": auditor.summary(),
+        "independent_audit": indep_auditor.summary(),
+        "violations": auditor.stats.violations,
+        "independent_violations": indep_auditor.stats.violations,
+        "backend_queries_cohort": cohort_backend,
+        "backend_queries_independent": indep_backend,
+        "backend_reduction": round(reduction, 3),
+        "invalidation_messages": cohort.invalidation_messages,
+        "invalidations_published": total("gateway_cohort_published_total"),
+        "invalidations_applied": total("gateway_cohort_applied_total"),
+        "duplicates_discarded": total("gateway_cohort_duplicates_total"),
+        "gaps_detected": total("gateway_cohort_gaps_total"),
+        "sync_requests": total("gateway_cohort_sync_requests_total"),
+        "sync_records_recovered": total("gateway_cohort_sync_records_total"),
+        "peer_outages": total("gateway_cohort_peer_missing_total"),
+        "clamp_engagements": total("gateway_cohort_clamp_engaged_total"),
+        "cohort_hit_rate": round(
+            sum(m.client.hit_rate() for m in cohort.members) / size, 4
+        ),
+        "independent_hit_rate": round(
+            sum(c.hit_rate() for c in independents) / size, 4
+        ),
+    }
+
+
+def render_cohort_bench(stats: Dict[str, object]) -> str:
+    cohort_audit: Dict[str, object] = stats["cohort_audit"]  # type: ignore[assignment]
+    indep_audit: Dict[str, object] = stats["independent_audit"]  # type: ignore[assignment]
+    return "\n".join(
+        [
+            "== gateway cohort bench ==",
+            f"workload                : {stats['profile']} x {stats['ops']} ops "
+            f"({stats['mutations']} mutations), seed {stats['seed']}, "
+            f"{stats['cohort']} gateways, {stats['duration_s']}s",
+            f"staleness bound         : {stats['staleness_bound_s']}s",
+            f"cohort stale reads      : {cohort_audit['stale_reads']} "
+            f"(p99 {cohort_audit['staleness_p99_s']}s, "
+            f"max {cohort_audit['staleness_max_s']}s)",
+            f"cohort violations       : {stats['violations']}",
+            f"independent violations  : {stats['independent_violations']}",
+            f"backend queries         : cohort {stats['backend_queries_cohort']} "
+            f"vs independent {stats['backend_queries_independent']}",
+            f"backend reduction       : x{stats['backend_reduction']:.2f}",
+            f"hit rate                : cohort {stats['cohort_hit_rate']:.3f} "
+            f"vs independent {stats['independent_hit_rate']:.3f}",
+            f"invalidation traffic    : {stats['invalidation_messages']} msgs "
+            f"({stats['invalidations_published']} published, "
+            f"{stats['invalidations_applied']} applied, "
+            f"{stats['duplicates_discarded']} dup-discarded)",
+            f"anti-entropy            : {stats['gaps_detected']} gaps, "
+            f"{stats['sync_requests']} sync requests, "
+            f"{stats['sync_records_recovered']} records recovered",
+            f"degradation             : {stats['peer_outages']} peer outages, "
+            f"{stats['clamp_engagements']} clamp engagements",
+            f"independent stale reads : {indep_audit['stale_reads']} "
+            f"(p99 {indep_audit['staleness_p99_s']}s)",
+        ]
+    )
+
+
+def _cmd_cohort_bench(args) -> int:
+    stats = run_cohort_bench(args)
+    print(render_cohort_bench(stats))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote bench stats to {args.json}")
+    failures = []
+    if stats["violations"]:
+        failures.append(
+            f"{stats['violations']} cohort staleness-bound violations"
+        )
+    if stats["independent_violations"]:
+        failures.append(
+            f"{stats['independent_violations']} baseline staleness-bound "
+            "violations"
+        )
+    if failures:
+        print("FAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
 def render_bench(stats: Dict[str, object], top: int) -> str:
     gateway: MetadataClient = stats["_gateway"]  # type: ignore[assignment]
     lines = [
@@ -283,7 +557,25 @@ def render_bench(stats: Dict[str, object], top: int) -> str:
     return "\n".join(lines)
 
 
+def _resolve_bench_defaults(args) -> None:
+    """Fill mode-dependent defaults for flags declared with ``None``.
+
+    Cohort mode wants a longer trace (compulsory misses — every member
+    must see a path once — amortize over more re-references) and long
+    leases (the whole point of the invalidation protocol is that they
+    stay safe); the single-gateway bench keeps its original defaults.
+    """
+    cohort = args.cohort is not None
+    if args.ops is None:
+        args.ops = 20_000 if cohort else 5_000
+    if args.lease_ttl_s is None:
+        args.lease_ttl_s = 30.0 if cohort else 5.0
+
+
 def _cmd_bench(args) -> int:
+    _resolve_bench_defaults(args)
+    if args.cohort is not None:
+        return _cmd_cohort_bench(args)
     stats = run_bench(args)
     print(render_bench(stats, top=args.top))
     failures = []
@@ -318,7 +610,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--servers", type=_positive_int, default=20)
     bench.add_argument("--group-size", type=_positive_int, default=5)
     bench.add_argument("--files", type=_positive_int, default=3_000)
-    bench.add_argument("--ops", type=_positive_int, default=5_000)
+    bench.add_argument(
+        "--ops", type=_positive_int, default=None,
+        help="trace length (default: 5000; cohort mode: 20000 so "
+        "compulsory misses amortize)",
+    )
     bench.add_argument("--clients", type=_positive_int, default=8)
     bench.add_argument(
         "--profile", choices=sorted(PROFILES), default="HP",
@@ -326,13 +622,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--cache-capacity", type=_positive_int, default=4096)
-    bench.add_argument("--lease-ttl-s", type=float, default=5.0)
+    bench.add_argument(
+        "--lease-ttl-s", type=float, default=None,
+        help="positive-lease TTL (default: 5; cohort mode: 30 — "
+        "invalidations keep long leases safe)",
+    )
     bench.add_argument("--rate-per-s", type=float, default=2000.0)
     bench.add_argument("--hot-threshold", type=_positive_int, default=32)
     bench.add_argument("--top", type=_positive_int, default=5)
     bench.add_argument(
         "--chaos", action="store_true",
         help="run under a seeded fault plan (drops + mid-run partition)",
+    )
+    bench.add_argument(
+        "--cohort", type=_positive_int, default=None, metavar="N",
+        help="distributed-cohort mode: N multicast-coherent gateways vs "
+        "N independent gateways (always under a seeded fault plan)",
+    )
+    bench.add_argument(
+        "--heartbeat-s", type=float, default=0.05,
+        help="cohort heartbeat interval (virtual seconds)",
+    )
+    bench.add_argument(
+        "--suspect-after-s", type=float, default=0.15,
+        help="silence/gap age before a cohort peer is suspected",
+    )
+    bench.add_argument(
+        "--ttl-clamp-s", type=float, default=0.10,
+        help="lease TTL clamp while a cohort peer is suspected",
+    )
+    bench.add_argument(
+        "--trace-rate", type=float, default=150.0,
+        help="cohort mode: trace arrival rate in ops per virtual second "
+        "(lower stretches re-reference intervals past the bound)",
     )
     bench.add_argument("--chaos-start-s", type=float, default=0.5)
     bench.add_argument("--chaos-window-s", type=float, default=1.0)

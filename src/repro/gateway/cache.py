@@ -83,6 +83,7 @@ class CacheStats:
     expired: int = 0
     insertions: int = 0
     evictions: int = 0
+    clamped: int = 0
     invalidations: Dict[str, int] = field(default_factory=dict)
 
     def count_invalidation(self, cause: str, amount: int = 1) -> None:
@@ -121,6 +122,11 @@ class GatewayCache:
         self.lease_ttl_s = lease_ttl_s
         self.negative_ttl_s = negative_ttl_s
         self.hot_lease_ttl_s = hot_lease_ttl_s
+        #: Active TTL clamp in virtual seconds (None when released).  While
+        #: set, every lease — existing, refreshed or pinned — expires within
+        #: the clamp; the cohort tier engages it when invalidations from a
+        #: peer gateway may be lost (partition), bounding staleness.
+        self.ttl_clamp_s: Optional[float] = None
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
 
@@ -172,6 +178,8 @@ class GatewayCache:
     ) -> CacheEntry:
         """Install (or refresh) a positive lease."""
         ttl = self.hot_lease_ttl_s if hot else self.lease_ttl_s
+        if self.ttl_clamp_s is not None:
+            ttl = min(ttl, self.ttl_clamp_s)
         return self._install(
             CacheEntry(
                 path=path,
@@ -184,12 +192,15 @@ class GatewayCache:
 
     def put_negative(self, path: str, now: float) -> CacheEntry:
         """Install (or refresh) a negative lease (path exists nowhere)."""
+        ttl = self.negative_ttl_s
+        if self.ttl_clamp_s is not None:
+            ttl = min(ttl, self.ttl_clamp_s)
         return self._install(
             CacheEntry(
                 path=path,
                 home_id=None,
                 record=None,
-                expires_at=now + self.negative_ttl_s,
+                expires_at=now + ttl,
                 negative=True,
             )
         )
@@ -226,8 +237,19 @@ class GatewayCache:
     # ------------------------------------------------------------------
     # Hot-entry shielding
     # ------------------------------------------------------------------
-    def pin(self, path: str, now: float) -> bool:
-        """Mark ``path`` hot: pin it and extend its lease.
+    def pin(self, path: str, now: float, extend: bool = True) -> bool:
+        """Mark ``path`` hot: pin it against eviction, optionally
+        extending its lease.
+
+        ``extend=True`` renews the lease *without re-validation*, which
+        is only safe when an external coherence channel (the cluster
+        mutation hook) invalidates this entry on every mutation.  A
+        hook-less gateway — a cohort member or an independent deployment
+        — must pass ``extend=False``: repeated touch-renewal would keep
+        a hot lease alive forever and serve it stale without bound, the
+        exact failure the staleness harness exists to catch.  Pinned,
+        unextended entries still expire on schedule and re-earn their
+        (hot) TTL at the next validated install.
 
         Returns True when an entry existed to pin.
         """
@@ -235,7 +257,11 @@ class GatewayCache:
         if entry is None or entry.negative:
             return False
         entry.pinned = True
-        entry.expires_at = max(entry.expires_at, now + self.hot_lease_ttl_s)
+        if extend:
+            extension = self.hot_lease_ttl_s
+            if self.ttl_clamp_s is not None:
+                extension = min(extension, self.ttl_clamp_s)
+            entry.expires_at = max(entry.expires_at, now + extension)
         return True
 
     def unpin(self, path: str) -> None:
@@ -245,6 +271,33 @@ class GatewayCache:
 
     def pinned_paths(self) -> List[str]:
         return sorted(p for p, e in self._entries.items() if e.pinned)
+
+    # ------------------------------------------------------------------
+    # TTL clamp (graceful degradation while invalidations may be lost)
+    # ------------------------------------------------------------------
+    def clamp_ttl(self, clamp_s: float, now: float) -> int:
+        """Cap every lease — current and future — to ``clamp_s`` of life.
+
+        Engaged by the cohort tier while a peer gateway is suspected
+        unreachable: remote mutations may not arrive as invalidations, so
+        no lease may outlive the clamp.  Returns the number of existing
+        entries whose expiry was shortened.
+        """
+        if clamp_s <= 0:
+            raise ValueError(f"clamp_s must be positive, got {clamp_s}")
+        self.ttl_clamp_s = clamp_s
+        limit = now + clamp_s
+        shortened = 0
+        for entry in self._entries.values():
+            if entry.expires_at > limit:
+                entry.expires_at = limit
+                shortened += 1
+        self.stats.clamped += shortened
+        return shortened
+
+    def release_ttl_clamp(self) -> None:
+        """Lift the clamp; already-shortened leases keep their expiry."""
+        self.ttl_clamp_s = None
 
     # ------------------------------------------------------------------
     # Invalidation (the coherence surface)

@@ -129,6 +129,15 @@ class MetadataClient:
     metrics:
         Metrics registry; defaults to the cluster's own, so one exporter
         sees fleet and gateway series side by side.
+    register_mutation_hook:
+        When True (the default) the client registers a listener on the
+        cluster so every mutation — through any client — invalidates its
+        leases instantly.  A *distributed* gateway (one of several
+        processes fronting the fleet) cannot have that oracle: the cohort
+        tier (:mod:`repro.gateway.cohort`) passes False and routes
+        invalidations explicitly through :meth:`apply_mutation`, locally
+        for its own mutations and via the invalidation multicast for its
+        peers'.
     """
 
     def __init__(
@@ -137,6 +146,7 @@ class MetadataClient:
         config: Optional[GatewayConfig] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        register_mutation_hook: bool = True,
     ) -> None:
         self.cluster = cluster
         self.config = config or GatewayConfig()
@@ -163,7 +173,9 @@ class MetadataClient:
         )
         self.backend_queries = 0  # full walks + batch round trips
         self._register_metrics()
-        cluster.add_mutation_listener(self._on_mutation)
+        self.hooked = register_mutation_hook
+        if register_mutation_hook:
+            cluster.add_mutation_listener(self.apply_mutation)
 
     # ------------------------------------------------------------------
     # Metrics
@@ -231,7 +243,13 @@ class MetadataClient:
     # ------------------------------------------------------------------
     # Coherence: cluster mutation hooks
     # ------------------------------------------------------------------
-    def _on_mutation(self, event: MutationEvent) -> None:
+    def apply_mutation(self, event: MutationEvent) -> None:
+        """Invalidate the leases ``event`` affects (with exact metrics).
+
+        Fired by the cluster's mutation hook when this client registered
+        one, or called explicitly by the cohort tier when the event
+        arrived over the invalidation multicast.
+        """
         cache = self.cache
         before = cache.stats.invalidations.copy()
         if event.op == "rename":
@@ -245,6 +263,13 @@ class MetadataClient:
             delta = count - before.get(cause, 0)
             if delta:
                 self._invalidations.labels(cause).inc(delta)
+
+    def clamp_leases(self, clamp_s: float, now: float) -> int:
+        """Bound every lease to ``clamp_s`` (cohort graceful degradation)."""
+        return self.cache.clamp_ttl(clamp_s, now)
+
+    def release_lease_clamp(self) -> None:
+        self.cache.release_ttl_clamp()
 
     # ------------------------------------------------------------------
     # Lookups
@@ -402,7 +427,10 @@ class MetadataClient:
             )
         # ---- shield refresh: pin what is hot --------------------------
         for path in self.hotspots.hot_keys():
-            self.cache.pin(path, now)
+            # Touch-renewal of hot leases is only coherent when the
+            # cluster hook invalidates them; hook-less members pin for
+            # eviction immunity but let leases expire on schedule.
+            self.cache.pin(path, now, extend=self.hooked)
         # ---- gateway spans (one per leader flight) --------------------
         if self.tracer.enabled:
             for path in flight.leaders:

@@ -1,0 +1,707 @@
+"""Distributed gateway cohort: invalidation multicast between gateways.
+
+A single :class:`~repro.gateway.client.MetadataClient` keeps its leases
+coherent through the cluster's mutation hook — an oracle a *distributed*
+deployment does not have.  When N gateway processes front the same MDS
+fleet, a mutation issued through one gateway must reach the other N-1 as
+an explicit message, over a network that drops, delays, duplicates and
+partitions.  This module models exactly that tier:
+
+- Each :class:`CohortMember` owns a hook-less ``MetadataClient`` and a
+  mailbox on a shared :class:`~repro.prototype.transport.InProcessTransport`
+  whose fault layer (:mod:`repro.faults`) applies to every protocol
+  message, so invalidations are as lossy as the plan says.
+- Every mutation publishes a versioned :class:`InvalidationRecord`
+  (exact path or subtree-rename prefixes, plus the mutation's virtual
+  time as the *lease epoch*) under a per-gateway sequence number.
+- Peers apply records in order; a sequence gap (lost or reordered
+  delivery) buffers the record and triggers **anti-entropy**: a
+  ``COHORT_SYNC`` request for the missing log suffix.
+- Periodic ``COHORT_HEARTBEAT`` messages carry the publisher's latest
+  sequence number (so gaps are detected even when the lost record was
+  the *last* mutation) and cumulative acks of every peer's log.
+- **Graceful degradation**: a peer silent (or with an unhealed gap) for
+  longer than ``suspect_after_s`` is *suspected*; while any peer is
+  suspected the member clamps every lease TTL to ``ttl_clamp_s``, so a
+  partition bounds staleness instead of extending it.
+
+The whole protocol is one-way messages drained by an explicit
+:meth:`CohortMember.tick`, which keeps cohort runs single-threaded and
+bit-for-bit deterministic — the property the staleness harness in
+``tests/integration/test_cohort_staleness.py`` is built on.
+
+Staleness contract: a cache-served read may trail an invalidating
+mutation by at most :attr:`CohortConfig.staleness_bound_s` =
+``max(2·heartbeat, heartbeat + suspect_after + ttl_clamp) + slack``:
+
+- delivered invalidations apply within one heartbeat of tick slack;
+- a gap heals within a heartbeat (detection) plus a sync round trip;
+- when nothing arrives at all, suspicion fires after ``suspect_after_s``
+  and the clamp kills every surviving lease within ``ttl_clamp_s``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cluster import GHBACluster, MutationEvent
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
+from repro.gateway.client import GatewayConfig, GatewayResponse, MetadataClient
+from repro.metadata.attributes import FileMetadata
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.prototype.messages import Message, MessageKind
+from repro.prototype.transport import InProcessTransport
+
+
+@dataclass(frozen=True)
+class InvalidationRecord:
+    """One published mutation, as its peers will see it.
+
+    ``origin``/``seq`` form the per-gateway version: ``seq`` is contiguous
+    per origin, which is what makes loss *detectable*.  ``epoch`` is the
+    mutation's virtual time — any lease installed before it is suspect.
+    For renames ``path``/``new_path`` are subtree prefixes.
+    """
+
+    origin: int
+    seq: int
+    op: str  # "create" | "delete" | "rename"
+    path: str
+    new_path: str = ""
+    epoch: float = 0.0
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "origin": self.origin,
+            "seq": self.seq,
+            "op": self.op,
+            "path": self.path,
+            "new_path": self.new_path,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "InvalidationRecord":
+        return cls(
+            origin=int(payload["origin"]),  # type: ignore[arg-type]
+            seq=int(payload["seq"]),  # type: ignore[arg-type]
+            op=str(payload["op"]),
+            path=str(payload["path"]),
+            new_path=str(payload.get("new_path", "")),
+            epoch=float(payload.get("epoch", 0.0)),  # type: ignore[arg-type]
+        )
+
+    def to_event(self) -> MutationEvent:
+        return MutationEvent(op=self.op, path=self.path, new_path=self.new_path)
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Accounting of one invalidation publish (gather-parity semantics).
+
+    ``missing`` is a *set-deduplicated* tuple: a peer counts as missing
+    exactly once no matter how many protocol copies duplication faults
+    put on the wire — the same contract
+    :class:`~repro.prototype.transport.GatherResult` keeps for multicast.
+    """
+
+    record: InvalidationRecord
+    sent_to: Tuple[int, ...] = ()
+    missing: Tuple[int, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+@dataclass(frozen=True)
+class CohortConfig:
+    """Tunables of the cohort protocol (virtual seconds throughout).
+
+    The defaults are sized for the synthetic traces (a few virtual
+    seconds at 1000 ops/s); scale them together when the workload's
+    timescale changes.
+    """
+
+    heartbeat_interval_s: float = 0.05
+    suspect_after_s: float = 0.15
+    ttl_clamp_s: float = 0.10
+    #: Minimum spacing between anti-entropy requests to one origin, so a
+    #: burst of out-of-order records does not stampede the publisher.
+    resync_interval_s: float = 0.05
+    #: Covers tick granularity plus injected message delays when deriving
+    #: the staleness bound.
+    scheduling_slack_s: float = 0.10
+    #: Negative-test hook: a cohort that never *mints* invalidation
+    #: records while still heartbeating as healthy is exactly the broken
+    #: deployment the staleness checker must catch — suspicion never
+    #: fires (everyone looks alive), so nothing bounds the stale leases.
+    publish_invalidations: bool = True
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "heartbeat_interval_s",
+            "suspect_after_s",
+            "ttl_clamp_s",
+            "resync_interval_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.scheduling_slack_s < 0:
+            raise ValueError("scheduling_slack_s must be non-negative")
+        if self.heartbeat_interval_s > self.suspect_after_s:
+            raise ValueError(
+                "heartbeat_interval_s must not exceed suspect_after_s "
+                "(a healthy peer would be suspected between heartbeats)"
+            )
+
+    @property
+    def staleness_bound_s(self) -> float:
+        """The window no cache-served read may trail its mutation by.
+
+        Healthy path: a lost record is noticed at the next heartbeat
+        (which carries the publisher's latest seq) and healed by one
+        sync round trip — ``2·heartbeat``.  Degraded path: one heartbeat
+        to notice the gap (or none, when the peer is silent), then
+        ``suspect_after`` of grace before suspicion engages the clamp,
+        after which no lease survives longer than ``ttl_clamp``.
+        """
+        propagation = 2.0 * self.heartbeat_interval_s
+        degraded = (
+            self.heartbeat_interval_s + self.suspect_after_s + self.ttl_clamp_s
+        )
+        return max(propagation, degraded) + self.scheduling_slack_s
+
+
+class CohortMember:
+    """One gateway in the cohort: a hook-less client plus protocol state.
+
+    Not constructed directly — :class:`GatewayCohort` builds the member
+    set so they share one transport, fault layer and metrics registry.
+    """
+
+    def __init__(
+        self,
+        member_id: int,
+        peers: Sequence[int],
+        cluster: GHBACluster,
+        transport: InProcessTransport,
+        config: CohortConfig,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+        counters: Dict[str, object],
+    ) -> None:
+        self.member_id = member_id
+        self.peers: Tuple[int, ...] = tuple(sorted(peers))
+        self.config = config
+        self.transport = transport
+        self.tracer = tracer
+        self.mailbox = transport.register(member_id)
+        self.client = MetadataClient(
+            cluster,
+            config.gateway,
+            tracer=tracer,
+            metrics=metrics,
+            register_mutation_hook=False,
+        )
+        self._c = counters
+        self._label = str(member_id)
+        # Publishing side
+        self.log: List[InvalidationRecord] = []
+        self.acked_seq: Dict[int, int] = {p: 0 for p in self.peers}
+        self._last_heartbeat_sent = float("-inf")
+        # Receiving side
+        self.applied_seq: Dict[int, int] = {p: 0 for p in self.peers}
+        self._pending: Dict[int, Dict[int, InvalidationRecord]] = {
+            p: {} for p in self.peers
+        }
+        self.last_heard: Dict[int, float] = {p: 0.0 for p in self.peers}
+        self.gap_since: Dict[int, Optional[float]] = {p: None for p in self.peers}
+        self._last_sync_sent: Dict[int, float] = {p: float("-inf") for p in self.peers}
+        self.suspected: Set[int] = set()
+        self.clamped = False
+        # Delay faults push a message's virtual arrival past the current
+        # tick; it waits here (ordered by arrival, then receipt order).
+        self._deferred: List[Tuple[float, int, Message]] = []
+        self._deferred_seq = 0
+
+    # ------------------------------------------------------------------
+    # Client pass-through (read path)
+    # ------------------------------------------------------------------
+    def lookup(self, path: str, now: float) -> GatewayResponse:
+        return self.client.lookup(path, now)
+
+    def lookup_many(
+        self, paths: Sequence[str], now: float
+    ) -> List[GatewayResponse]:
+        return self.client.lookup_many(paths, now)
+
+    # ------------------------------------------------------------------
+    # Mutations (write path + publish)
+    # ------------------------------------------------------------------
+    def create(
+        self, path: str, now: float, home_id: Optional[int] = None
+    ) -> GatewayResponse:
+        response = self.client.create(path, now, home_id=home_id)
+        self._publish("create", path, "", now)
+        return response
+
+    def delete(self, path: str, now: float) -> GatewayResponse:
+        response = self.client.delete(path, now)
+        self._publish("delete", path, "", now)
+        return response
+
+    def rename(self, old_prefix: str, new_prefix: str, now: float) -> int:
+        renamed = self.client.rename(old_prefix, new_prefix, now)
+        # Without the cluster hook the *issuing* client's own subtree
+        # leases survive the rename; apply the event locally before
+        # telling the peers.
+        self.client.apply_mutation(
+            MutationEvent(op="rename", path=old_prefix, new_path=new_prefix)
+        )
+        self._publish("rename", old_prefix, new_prefix, now)
+        return renamed
+
+    def _publish(
+        self, op: str, path: str, new_path: str, now: float
+    ) -> BroadcastResult:
+        record = InvalidationRecord(
+            origin=self.member_id,
+            seq=len(self.log) + 1,
+            op=op,
+            path=path,
+            new_path=new_path,
+            epoch=now,
+        )
+        if not self.config.publish_invalidations:
+            # Broken-deployment mode: the mutation happened but no record
+            # is ever minted.  Crucially the member keeps heartbeating
+            # (advertising an unchanged log), so peers see a healthy
+            # gateway and never engage the clamp — their long leases go
+            # stale unbounded, which is what the negative staleness test
+            # must detect.
+            return BroadcastResult(record=record, sent_to=())
+        self.log.append(record)
+        if not self.peers:
+            return BroadcastResult(record=record, sent_to=())
+        self._c["published"].labels(self._label).inc()
+        sent: List[int] = []
+        for peer in self.peers:
+            self._send(
+                peer,
+                MessageKind.INVALIDATE,
+                {"record": record.as_payload()},
+                now,
+            )
+            sent.append(peer)
+        # Peers currently suspected are expected to miss this publish —
+        # dedup through the (sorted) suspicion set so duplication faults
+        # or repeated publishes can never double-count an outage.
+        missing = tuple(sorted(self.suspected))
+        if self.tracer.enabled:
+            span = self.tracer.start_span(path or new_path, -1)
+            span.event(
+                "cohort_publish",
+                seq=record.seq,
+                op=op,
+                peers=len(sent),
+                missing=len(missing),
+            )
+            span.finish("COHORT-PUBLISH", self.member_id, 0.0, len(sent))
+        return BroadcastResult(
+            record=record, sent_to=tuple(sent), missing=missing
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol pump
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> List[GatewayResponse]:
+        """Drain messages, heartbeat, update suspicion; returns any
+        admission-queue completions so the caller can audit them."""
+        self.drain(now)
+        self._maybe_heartbeat(now)
+        self._update_suspicion(now)
+        if self.client.admission.queue_depth:
+            return self.client.pump(now)
+        return []
+
+    def drain(self, now: float) -> int:
+        """Apply every protocol message that has arrived by ``now``."""
+        handled = 0
+        while True:
+            try:
+                message = self.mailbox.get_nowait()
+            except queue.Empty:
+                break
+            if message.arrival_vtime > now:
+                heapq.heappush(
+                    self._deferred,
+                    (message.arrival_vtime, self._deferred_seq, message),
+                )
+                self._deferred_seq += 1
+                continue
+            self._handle(message, now)
+            handled += 1
+        while self._deferred and self._deferred[0][0] <= now:
+            _, _, message = heapq.heappop(self._deferred)
+            self._handle(message, now)
+            handled += 1
+        return handled
+
+    def _handle(self, message: Message, now: float) -> None:
+        sender = message.sender
+        if sender in self.last_heard:
+            self.last_heard[sender] = now
+        payload = message.payload
+        if message.kind is MessageKind.INVALIDATE:
+            self._ingest(
+                InvalidationRecord.from_payload(payload["record"]), now
+            )
+        elif message.kind is MessageKind.COHORT_HEARTBEAT:
+            self._c["heartbeats"].labels(self._label).inc()
+            latest = int(payload["latest"])
+            if sender in self.applied_seq:
+                self._check_for_gap(sender, latest, now)
+                acked = payload.get("acked", {})
+                mine = int(acked.get(self.member_id, 0))
+                if mine > self.acked_seq.get(sender, 0):
+                    self.acked_seq[sender] = mine
+        elif message.kind is MessageKind.COHORT_SYNC:
+            since = int(payload["since"])
+            self._send(
+                sender,
+                MessageKind.COHORT_SYNC_REPLY,
+                {
+                    "records": [r.as_payload() for r in self.log[since:]],
+                    "latest": len(self.log),
+                },
+                now,
+            )
+        elif message.kind is MessageKind.COHORT_SYNC_REPLY:
+            for raw in payload["records"]:
+                record = InvalidationRecord.from_payload(raw)
+                if self._ingest(record, now):
+                    self._c["sync_records"].labels(self._label).inc()
+
+    def _ingest(self, record: InvalidationRecord, now: float) -> bool:
+        """Apply (or buffer) one record; True when it was new."""
+        origin = record.origin
+        if origin not in self.applied_seq:
+            return False  # not a peer (e.g. a departed member)
+        applied = self.applied_seq[origin]
+        buffer = self._pending[origin]
+        if record.seq <= applied or record.seq in buffer:
+            self._c["duplicates"].labels(self._label).inc()
+            return False
+        buffer[record.seq] = record
+        while applied + 1 in buffer:
+            self._apply(buffer.pop(applied + 1))
+            applied += 1
+        self.applied_seq[origin] = applied
+        if buffer:
+            self._note_gap(origin, now)
+        else:
+            self.gap_since[origin] = None
+        return True
+
+    def _apply(self, record: InvalidationRecord) -> None:
+        self._c["applied"].labels(self._label, record.op).inc()
+        self.client.apply_mutation(record.to_event())
+
+    def _check_for_gap(self, origin: int, latest: int, now: float) -> None:
+        if latest > self.applied_seq[origin]:
+            self._note_gap(origin, now)
+        elif not self._pending[origin]:
+            self.gap_since[origin] = None
+
+    def _note_gap(self, origin: int, now: float) -> None:
+        if self.gap_since[origin] is None:
+            self.gap_since[origin] = now
+            self._c["gaps"].labels(self._label).inc()
+        if now - self._last_sync_sent[origin] >= self.config.resync_interval_s:
+            self._last_sync_sent[origin] = now
+            self._c["sync_requests"].labels(self._label).inc()
+            self._send(
+                origin,
+                MessageKind.COHORT_SYNC,
+                {"since": self.applied_seq[origin]},
+                now,
+            )
+
+    def _maybe_heartbeat(self, now: float) -> None:
+        if not self.peers:
+            return
+        if now - self._last_heartbeat_sent < self.config.heartbeat_interval_s:
+            return
+        self._last_heartbeat_sent = now
+        payload = {
+            "latest": len(self.log),
+            "acked": dict(self.applied_seq),
+        }
+        for peer in self.peers:
+            self._send(peer, MessageKind.COHORT_HEARTBEAT, payload, now)
+
+    def _update_suspicion(self, now: float) -> None:
+        cfg = self.config
+        for peer in self.peers:
+            silent = now - self.last_heard[peer] > cfg.suspect_after_s
+            gap = self.gap_since[peer]
+            gap_stuck = gap is not None and now - gap > cfg.suspect_after_s
+            if silent or gap_stuck:
+                if peer not in self.suspected:
+                    # Exactly once per outage: the set guards the counter,
+                    # so duplicated heartbeats/records flapping through
+                    # drain can never re-count a suspicion.
+                    self.suspected.add(peer)
+                    self._c["peer_missing"].labels(
+                        self._label, str(peer)
+                    ).inc()
+            elif peer in self.suspected:
+                self.suspected.discard(peer)
+                self._c["peer_recovered"].labels(
+                    self._label, str(peer)
+                ).inc()
+        if self.suspected and not self.clamped:
+            self.clamped = True
+            self._c["clamp_engaged"].labels(self._label).inc()
+            self.client.clamp_leases(cfg.ttl_clamp_s, now)
+        elif not self.suspected and self.clamped:
+            self.clamped = False
+            self._c["clamp_released"].labels(self._label).inc()
+            self.client.release_lease_clamp()
+
+    def _send(
+        self,
+        dest: int,
+        kind: MessageKind,
+        payload: Dict[str, object],
+        now: float,
+    ) -> bool:
+        self._c["protocol_sends"].labels(self._label, kind.value).inc()
+        message = Message(
+            kind=kind,
+            sender=self.member_id,
+            payload=payload,
+            arrival_vtime=now,
+        )
+        return self.transport.send(dest, message)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def published(self) -> int:
+        return len(self.log)
+
+    def __repr__(self) -> str:
+        return (
+            f"CohortMember(id={self.member_id}, published={len(self.log)}, "
+            f"applied={dict(self.applied_seq)}, "
+            f"suspected={sorted(self.suspected)}, clamped={self.clamped})"
+        )
+
+
+class GatewayCohort:
+    """N gateways fronting one fleet, kept coherent by multicast.
+
+    Parameters
+    ----------
+    cluster:
+        The shared MDS fleet.  Members are *hook-less*: only the
+        invalidation protocol (and a member's own mutations) invalidate
+        leases, exactly like separate gateway processes.
+    size:
+        Number of members (IDs ``0..size-1`` on the cohort transport).
+    config:
+        Protocol + per-member gateway tunables.
+    faults:
+        Fault layer for the *cohort* transport (gateway-to-gateway
+        links); partitions here island gateways, not MDS nodes.  The
+        cohort advances the injector's clock from :meth:`step`.
+    """
+
+    def __init__(
+        self,
+        cluster: GHBACluster,
+        size: int,
+        config: Optional[CohortConfig] = None,
+        faults: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"cohort size must be >= 1, got {size}")
+        self.cluster = cluster
+        self.config = config or CohortConfig()
+        self.faults: FaultInjector = faults if faults is not None else NULL_INJECTOR
+        self.metrics = metrics if metrics is not None else cluster.metrics
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.transport = InProcessTransport(injector=self.faults)
+        counters = self._register_metrics(self.metrics)
+        ids = list(range(size))
+        self.members: List[CohortMember] = [
+            CohortMember(
+                member_id=member_id,
+                peers=[p for p in ids if p != member_id],
+                cluster=cluster,
+                transport=self.transport,
+                config=self.config,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                counters=counters,
+            )
+            for member_id in ids
+        ]
+        self._now = 0.0
+
+    @staticmethod
+    def _register_metrics(m: MetricsRegistry) -> Dict[str, object]:
+        return {
+            "published": m.counter(
+                "gateway_cohort_published_total",
+                "Invalidation records published, by gateway.",
+                labels=("gateway",),
+            ),
+            "protocol_sends": m.counter(
+                "gateway_cohort_protocol_sends_total",
+                "Cohort protocol messages handed to the transport.",
+                labels=("gateway", "kind"),
+            ),
+            "applied": m.counter(
+                "gateway_cohort_applied_total",
+                "Peer invalidation records applied, by gateway and op.",
+                labels=("gateway", "op"),
+            ),
+            "duplicates": m.counter(
+                "gateway_cohort_duplicates_total",
+                "Records discarded as already seen (duplication faults).",
+                labels=("gateway",),
+            ),
+            "gaps": m.counter(
+                "gateway_cohort_gaps_total",
+                "Sequence gaps detected in a peer's record stream.",
+                labels=("gateway",),
+            ),
+            "sync_requests": m.counter(
+                "gateway_cohort_sync_requests_total",
+                "Anti-entropy catch-up requests sent.",
+                labels=("gateway",),
+            ),
+            "sync_records": m.counter(
+                "gateway_cohort_sync_records_total",
+                "Records recovered via anti-entropy replies.",
+                labels=("gateway",),
+            ),
+            "heartbeats": m.counter(
+                "gateway_cohort_heartbeats_total",
+                "Heartbeats received, by gateway.",
+                labels=("gateway",),
+            ),
+            "peer_missing": m.counter(
+                "gateway_cohort_peer_missing_total",
+                "Peer outages observed (once per outage).",
+                labels=("gateway", "peer"),
+            ),
+            "peer_recovered": m.counter(
+                "gateway_cohort_peer_recovered_total",
+                "Suspected peers heard from again.",
+                labels=("gateway", "peer"),
+            ),
+            "clamp_engaged": m.counter(
+                "gateway_cohort_clamp_engaged_total",
+                "TTL clamp engagements (graceful degradation).",
+                labels=("gateway",),
+            ),
+            "clamp_released": m.counter(
+                "gateway_cohort_clamp_released_total",
+                "TTL clamp releases after all peers recovered.",
+                labels=("gateway",),
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> Dict[int, List[GatewayResponse]]:
+        """One protocol round: advance faults, tick members in ID order.
+
+        Returns admission-queue completions per member (usually empty)
+        so harnesses can audit late answers too.
+        """
+        if now < self._now:
+            raise ValueError(f"cohort clock went backward: {now} < {self._now}")
+        self._now = now
+        if self.faults.enabled and now > self.faults.now:
+            self.faults.advance(now)
+        drained: Dict[int, List[GatewayResponse]] = {}
+        for member in self.members:
+            responses = member.tick(now)
+            if responses:
+                drained[member.member_id] = responses
+        return drained
+
+    def settle(self, now: float, rounds: Optional[int] = None) -> float:
+        """Run quiescing steps so in-flight protocol traffic lands.
+
+        Advances virtual time by one heartbeat interval per round
+        (default: enough rounds to clear suspicion and the clamp when
+        the fault plan has gone quiet).  Returns the final time.
+        """
+        cfg = self.config
+        if rounds is None:
+            rounds = (
+                int(
+                    (cfg.suspect_after_s + cfg.ttl_clamp_s)
+                    / cfg.heartbeat_interval_s
+                )
+                + 3
+            )
+        clock = now
+        for _ in range(rounds):
+            clock += cfg.heartbeat_interval_s
+            self.step(clock)
+        return clock
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def member(self, member_id: int) -> CohortMember:
+        return self.members[member_id]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def backend_queries(self) -> int:
+        return sum(m.client.backend_queries for m in self.members)
+
+    @property
+    def invalidation_messages(self) -> int:
+        """Protocol messages on the wire (invalidations + heartbeats +
+        sync traffic), as counted by the cohort transport."""
+        return self.transport.messages_sent
+
+    def counter_snapshot(self) -> Dict[str, Dict[Tuple[str, ...], float]]:
+        """Every ``gateway_cohort_*`` counter child, for determinism tests."""
+        snapshot: Dict[str, Dict[Tuple[str, ...], float]] = {}
+        for family in self.metrics.families():
+            if not family.name.startswith("gateway_cohort_"):
+                continue
+            snapshot[family.name] = {
+                labels: child.value  # type: ignore[attr-defined]
+                for labels, child in family.children()
+            }
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayCohort(size={self.size}, "
+            f"backend_queries={self.backend_queries}, "
+            f"protocol_messages={self.invalidation_messages})"
+        )

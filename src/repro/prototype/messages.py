@@ -31,6 +31,13 @@ class MessageKind(enum.Enum):
     PING = "ping"                    # heartbeat
     STOP = "stop"                    # shut the node down
     REPLY = "reply"
+    # Gateway-cohort invalidation protocol (repro.gateway.cohort).  These
+    # travel between *gateways* (non-negative cohort member IDs on the
+    # cohort's own transport), never between MDS nodes.
+    INVALIDATE = "invalidate"            # one mutation-invalidation record
+    COHORT_HEARTBEAT = "cohort_heartbeat"  # latest seq + cumulative acks
+    COHORT_SYNC = "cohort_sync"          # anti-entropy: records since seq N
+    COHORT_SYNC_REPLY = "cohort_sync_reply"  # log suffix catch-up
 
 
 @dataclass

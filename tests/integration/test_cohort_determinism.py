@@ -1,0 +1,67 @@
+"""Cohort determinism: same seed + fault plan → bit-identical counters.
+
+ISSUE 4 satellite 6.  The cohort protocol is driven entirely by explicit
+virtual time and seeded RNGs (trace, fault draws, member tick order), so
+re-running an identical scenario must reproduce every
+``gateway_cohort_*`` counter child exactly — including the fault-shaped
+ones (gaps, duplicates, sync traffic, peer outages).  Any drift means
+hidden nondeterminism (iteration order, wall-clock leakage, shared RNG
+state), which would make every staleness result in this suite
+unreproducible.
+"""
+
+from repro.faults import FaultPlan, Partition
+
+
+def _chaos_plan(seed):
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.12,
+        delay_rate=0.15,
+        delay_ms_min=0.5,
+        delay_ms_max=4.0,
+        duplicate_rate=0.10,
+        partitions=(Partition(start_s=0.5, end_s=1.2, island=(0,)),),
+    )
+
+
+def _run(cohort_scenario, seed):
+    cohort, auditor = cohort_scenario(
+        seed=seed, size=3, plan=_chaos_plan(seed), ops=1000
+    )
+    return cohort, auditor
+
+
+def test_counters_bit_identical_across_runs(cohort_scenario):
+    first_cohort, first_auditor = _run(cohort_scenario, seed=13)
+    second_cohort, second_auditor = _run(cohort_scenario, seed=13)
+
+    first = first_cohort.counter_snapshot()
+    second = second_cohort.counter_snapshot()
+    assert first == second
+    # Non-vacuous: the plan really exercised the lossy paths.
+    assert sum(first["gateway_cohort_gaps_total"].values()) > 0
+    assert sum(first["gateway_cohort_duplicates_total"].values()) > 0
+    assert sum(first["gateway_cohort_peer_missing_total"].values()) > 0
+
+    # The audit trail agrees too, down to each stale window.
+    assert first_auditor.summary() == second_auditor.summary()
+    assert [
+        (r.path, r.read_time, r.mutation_time, r.gateway_id)
+        for r in first_auditor.stale_reads
+    ] == [
+        (r.path, r.read_time, r.mutation_time, r.gateway_id)
+        for r in second_auditor.stale_reads
+    ]
+    assert first_cohort.backend_queries == second_cohort.backend_queries
+    assert (
+        first_cohort.invalidation_messages
+        == second_cohort.invalidation_messages
+    )
+
+
+def test_different_seeds_diverge(cohort_scenario):
+    """The counters are seed-sensitive — equality above is not trivial."""
+    first_cohort, _ = _run(cohort_scenario, seed=13)
+    second_cohort, _ = _run(cohort_scenario, seed=14)
+    assert first_cohort.counter_snapshot() != second_cohort.counter_snapshot()

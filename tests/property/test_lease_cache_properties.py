@@ -1,0 +1,161 @@
+"""Property tests for :class:`repro.gateway.cache.GatewayCache`.
+
+ISSUE 4 satellite 1: seeded random operation sequences (plain
+``random.Random`` — no new dependencies) drive the cache alongside a
+trivially-correct model dict, checking after every step that
+
+    every fresh cache answer ⊆ the model
+
+i.e. whatever the cache serves as a hit must be exactly what the model
+says the last authoritative write for that path was.  The cache may
+*forget* (LRU eviction, TTL expiry, invalidation) — the model never
+does — so the subset direction is the safety property: the cache must
+never *remember wrong*.
+
+The path alphabet is chosen to provoke the classic subtree traps:
+``/a/b`` vs ``/a/bc`` share a string prefix but are not ancestor and
+descendant, so ``invalidate_subtree("/a/b")`` must kill the former and
+spare the latter.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.gateway.cache import GatewayCache
+
+#: Small component pool with deliberate prefix collisions (b vs bc,
+#: c vs ca) so random subtree invalidations exercise the boundary.
+COMPONENTS = ("a", "b", "bc", "c", "ca", "d")
+
+
+def _paths(max_depth=3):
+    out = []
+    for depth in range(1, max_depth + 1):
+        for combo in itertools.product(COMPONENTS, repeat=depth):
+            out.append("/" + "/".join(combo))
+    return out
+
+
+PATHS = _paths()
+
+
+def _subtree_victims(model, prefix):
+    return [
+        path
+        for path in model
+        if path == prefix or path.startswith(prefix + "/")
+    ]
+
+
+def _check_subset(cache, model, now, label):
+    """Every fresh cache answer must match the model exactly."""
+    for path in PATHS:
+        entry = cache.peek(path)
+        if entry is None or not entry.fresh(now):
+            continue  # forgotten or expired: always allowed
+        assert path in model, f"{label}: cache serves deleted {path!r}"
+        want_home, want_negative = model[path]
+        assert entry.negative == want_negative, (
+            f"{label}: polarity mismatch for {path!r}"
+        )
+        if not want_negative:
+            assert entry.home_id == want_home, (
+                f"{label}: stale home for {path!r}"
+            )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1337])
+def test_cache_never_remembers_wrong(seed):
+    rng = random.Random(seed)
+    cache = GatewayCache(capacity=32, lease_ttl_s=5.0, negative_ttl_s=1.0)
+    model = {}  # path -> (home_id, negative)
+    now = 0.0
+    for step in range(600):
+        now += rng.random() * 0.5
+        op = rng.random()
+        path = rng.choice(PATHS)
+        if op < 0.40:  # authoritative positive write (create/refresh)
+            home = rng.randrange(8)
+            cache.put(path, home, record=None, now=now, hot=rng.random() < 0.1)
+            model[path] = (home, False)
+        elif op < 0.55:  # authoritative negative (path proven absent)
+            cache.put_negative(path, now)
+            model[path] = (None, True)
+        elif op < 0.75:  # exact-path invalidation (delete/create event)
+            cache.invalidate(path)
+            model.pop(path, None)
+        elif op < 0.90:  # subtree invalidation (rename event)
+            prefix = rng.choice(PATHS)
+            cache.invalidate_subtree(prefix)
+            for victim in _subtree_victims(model, prefix):
+                del model[victim]
+        else:  # read probe: a hit must agree with the model
+            lookup = cache.get(path, now)
+            if lookup.hit:
+                assert path in model, f"hit on deleted {path!r}"
+                want_home, want_negative = model[path]
+                assert lookup.negative == want_negative
+                if not want_negative:
+                    assert lookup.home_id == want_home
+        _check_subset(cache, model, now, f"seed={seed} step={step}")
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_subtree_invalidation_respects_component_boundary(seed):
+    """Random rename storms never bleed across /a/b vs /a/bc."""
+    rng = random.Random(seed)
+    # Capacity exceeds len(PATHS): no LRU eviction, so presence is exact.
+    cache = GatewayCache(capacity=512, lease_ttl_s=100.0)
+    model = {}
+    now = 1.0
+    for path in PATHS:
+        home = rng.randrange(8)
+        cache.put(path, home, record=None, now=now)
+        model[path] = (home, False)
+    for _ in range(100):
+        prefix = rng.choice(PATHS)
+        cache.invalidate_subtree(prefix)
+        for victim in _subtree_victims(model, prefix):
+            del model[victim]
+        # Survivors must still be served, victims must be gone.
+        for path, (home, _negative) in model.items():
+            entry = cache.peek(path)
+            assert entry is not None and entry.home_id == home
+        assert len(cache) == len(model)
+
+
+@pytest.mark.parametrize("seed", [0, 9])
+def test_clamp_bounds_every_lease(seed):
+    """While clamped, no lease — old, refreshed, pinned — outlives the
+    clamp; after release, new leases get full TTLs again."""
+    rng = random.Random(seed)
+    cache = GatewayCache(capacity=64, lease_ttl_s=50.0, hot_lease_ttl_s=200.0)
+    now = 0.0
+    for _ in range(40):
+        cache.put(rng.choice(PATHS), rng.randrange(8), None, now,
+                  hot=rng.random() < 0.3)
+    clamp_s = 0.25
+    cache.clamp_ttl(clamp_s, now)
+    for step in range(200):
+        now += rng.random() * 0.05
+        limit = now + clamp_s
+        path = rng.choice(PATHS)
+        draw = rng.random()
+        if draw < 0.4:
+            cache.put(path, rng.randrange(8), None, now,
+                      hot=rng.random() < 0.3)
+        elif draw < 0.6:
+            cache.put_negative(path, now)
+        elif draw < 0.8:
+            cache.pin(path, now)
+        for candidate in PATHS:
+            entry = cache.peek(candidate)
+            if entry is not None:
+                assert entry.expires_at <= limit + 1e-9, (
+                    f"seed={seed} step={step}: {candidate!r} outlives clamp"
+                )
+    cache.release_ttl_clamp()
+    entry = cache.put("/a", 1, None, now)
+    assert entry.expires_at == pytest.approx(now + 50.0)

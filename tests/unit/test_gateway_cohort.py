@@ -1,0 +1,277 @@
+"""Unit tests for the cohort invalidation protocol (ISSUE 4 tentpole).
+
+Covers the protocol pieces in isolation, without a trace replay:
+record versioning and dedupe, gap detection → anti-entropy recovery,
+subtree-rename invalidation across members (including the ``/a/b`` vs
+``/a/bc`` prefix trap), suspicion → TTL clamp engagement/release, and
+the exactly-once ``peer_missing`` accounting that must hold even when
+duplication faults multiply protocol traffic (ISSUE 4 satellite 2).
+"""
+
+import pytest
+
+from repro.core.config import GHBAConfig
+from repro.core.cluster import GHBACluster
+from repro.faults import FaultPlan, Partition, PlanFaultInjector
+from repro.gateway import CohortConfig, GatewayConfig, GatewayCohort
+from repro.gateway.cohort import InvalidationRecord
+
+
+def _config(seed=33):
+    return GHBAConfig(
+        max_group_size=4,
+        expected_files_per_mds=200,
+        lru_capacity=128,
+        lru_filter_bits=1 << 10,
+        seed=seed,
+    )
+
+
+def _cluster(paths, seed=33):
+    cluster = GHBACluster(8, _config(seed), seed=seed)
+    cluster.populate(paths)
+    cluster.synchronize_replicas(force=True)
+    return cluster
+
+
+def _cohort(paths, size=2, seed=33, **cfg_overrides):
+    cfg_overrides.setdefault("gateway", GatewayConfig(lease_ttl_s=60.0))
+    cohort = GatewayCohort(
+        _cluster(paths, seed), size, CohortConfig(**cfg_overrides)
+    )
+    return cohort
+
+
+def _counter(cohort, name, *labels):
+    return cohort.counter_snapshot()[f"gateway_cohort_{name}_total"].get(
+        labels, 0.0
+    )
+
+
+class TestInvalidationRecord:
+    def test_payload_roundtrip(self):
+        record = InvalidationRecord(
+            origin=3, seq=17, op="rename", path="/a", new_path="/b", epoch=1.25
+        )
+        assert InvalidationRecord.from_payload(record.as_payload()) == record
+
+    def test_to_event_carries_subtree_prefixes(self):
+        record = InvalidationRecord(
+            origin=0, seq=1, op="rename", path="/old", new_path="/new"
+        )
+        event = record.to_event()
+        assert (event.op, event.path, event.new_path) == (
+            "rename", "/old", "/new",
+        )
+
+
+class TestCohortConfig:
+    def test_staleness_bound_covers_degraded_path(self):
+        cfg = CohortConfig(
+            heartbeat_interval_s=0.05,
+            suspect_after_s=0.15,
+            ttl_clamp_s=0.10,
+            scheduling_slack_s=0.10,
+        )
+        # One heartbeat to notice the gap, the suspicion grace period,
+        # then no lease survives past the clamp — plus tick slack.
+        assert cfg.staleness_bound_s == pytest.approx(0.40)
+
+    def test_heartbeat_slower_than_suspicion_rejected(self):
+        with pytest.raises(ValueError):
+            CohortConfig(heartbeat_interval_s=0.5, suspect_after_s=0.1)
+
+
+class TestInvalidationPropagation:
+    def test_delete_through_one_member_invalidates_the_other(self):
+        cohort = _cohort(["/fs/a", "/fs/b"])
+        left, right = cohort.members
+        assert right.lookup("/fs/a", 0.0).found
+        assert "/fs/a" in right.client.cache
+
+        left.delete("/fs/a", 0.1)
+        cohort.step(0.1)
+
+        assert "/fs/a" not in right.client.cache
+        assert _counter(cohort, "applied", "1", "delete") == 1
+        assert not right.lookup("/fs/a", 0.2).found
+
+    def test_rename_subtree_spares_sibling_prefix(self):
+        # The /a/b vs /a/bc trap: renaming /fs/a/b must drop the peer's
+        # /fs/a/b/f lease but leave /fs/a/bc/f untouched.
+        cohort = _cohort(["/fs/a/b/f", "/fs/a/bc/f"])
+        left, right = cohort.members
+        right.lookup("/fs/a/b/f", 0.0)
+        right.lookup("/fs/a/bc/f", 0.0)
+        version_before = right.client.cache.peek("/fs/a/bc/f").version
+
+        left.rename("/fs/a/b", "/fs/a/moved", 0.1)
+        cohort.step(0.1)
+
+        assert "/fs/a/b/f" not in right.client.cache
+        assert right.client.cache.peek("/fs/a/bc/f").version == version_before
+
+    def test_create_through_one_member_kills_peer_negative(self):
+        cohort = _cohort(["/fs/a"])
+        left, right = cohort.members
+        assert not right.lookup("/fs/new", 0.0).found  # negative now cached
+        assert right.client.cache.peek("/fs/new").negative
+
+        left.create("/fs/new", 0.1)
+        cohort.step(0.1)
+        assert right.lookup("/fs/new", 0.2).found
+
+
+class TestSequencing:
+    def test_duplicate_records_discarded_once_applied(self):
+        cohort = _cohort(["/fs/a"])
+        left, right = cohort.members
+        left.delete("/fs/a", 0.1)
+        cohort.step(0.1)
+        record = left.log[0]
+
+        assert right._ingest(record, 0.2) is False
+        assert _counter(cohort, "duplicates", "1") == 1
+        assert right.applied_seq[0] == 1
+
+    def test_gap_buffers_then_sync_recovers_in_order(self):
+        cohort = _cohort(["/fs/a", "/fs/b", "/fs/c"])
+        left, right = cohort.members
+        for path in ("/fs/a", "/fs/b", "/fs/c"):
+            right.lookup(path, 0.0)
+
+        # Publish three deletes but feed the peer only seq 3: a gap.
+        for index, path in enumerate(("/fs/a", "/fs/b", "/fs/c")):
+            left.client.delete(path, 0.1)
+            left.log.append(
+                InvalidationRecord(
+                    origin=0, seq=index + 1, op="delete", path=path, epoch=0.1
+                )
+            )
+        right._ingest(left.log[2], 0.2)
+        assert right.applied_seq[0] == 0  # buffered, nothing applied
+        assert right.gap_since[0] == 0.2
+        assert _counter(cohort, "gaps", "1") == 1
+        assert _counter(cohort, "sync_requests", "1") == 1
+
+        # The sync request is in member 0's mailbox; one round trip heals.
+        left.drain(0.3)
+        right.drain(0.3)
+        assert right.applied_seq[0] == 3
+        assert right.gap_since[0] is None
+        assert all(
+            path not in right.client.cache
+            for path in ("/fs/a", "/fs/b", "/fs/c")
+        )
+        assert _counter(cohort, "sync_records", "1") == 2  # seq 1 and 2
+
+
+class TestSuspicionAndClamp:
+    def test_silent_peer_engages_clamp_then_release(self):
+        cohort = _cohort(
+            ["/fs/a"],
+            heartbeat_interval_s=0.05,
+            suspect_after_s=0.15,
+            ttl_clamp_s=0.10,
+        )
+        left, right = cohort.members
+        left.lookup("/fs/a", 0.0)
+        lease = left.client.cache.peek("/fs/a")
+        assert lease.expires_at > 1.0  # long lease while healthy
+
+        # Only member 0 ticks: member 1 goes silent past suspect_after.
+        left.tick(0.2)
+        assert right.member_id in left.suspected
+        assert left.clamped
+        assert _counter(cohort, "peer_missing", "0", "1") == 1
+        assert _counter(cohort, "clamp_engaged", "0") == 1
+        # The surviving lease was shortened to the clamp.
+        assert lease.expires_at <= 0.2 + 0.10
+
+        # Peer heartbeats again: suspicion clears, clamp releases.
+        right.tick(0.25)
+        left.tick(0.3)
+        assert not left.suspected
+        assert not left.clamped
+        assert _counter(cohort, "peer_recovered", "0", "1") == 1
+        assert _counter(cohort, "clamp_released", "0") == 1
+
+    def test_publish_reports_suspected_peer_missing_once(self):
+        cohort = _cohort(["/fs/a", "/fs/b"], suspect_after_s=0.1)
+        left, right = cohort.members
+        left.tick(0.2)  # right never ticked: suspected
+        assert right.member_id in left.suspected
+
+        first = left._publish("delete", "/fs/a", "", 0.3)
+        second = left._publish("delete", "/fs/b", "", 0.3)
+        # Deduplicated tuple, stable across repeated publishes.
+        assert first.missing == (right.member_id,)
+        assert second.missing == (right.member_id,)
+        assert not first.complete
+
+
+class TestMissingExactlyOnceUnderDuplication:
+    """ISSUE 4 satellite 2: duplication faults must not double-count
+    a peer outage — one partition window, one ``peer_missing`` tick."""
+
+    def _run(self, duplicate_rate):
+        plan = FaultPlan(
+            seed=5,
+            duplicate_rate=duplicate_rate,
+            partitions=(Partition(start_s=0.5, end_s=1.0, island=(2,)),),
+        )
+        cluster = _cluster(["/fs/a", "/fs/b"], seed=5)
+        cohort = GatewayCohort(
+            cluster,
+            3,
+            CohortConfig(gateway=GatewayConfig(lease_ttl_s=60.0)),
+            faults=PlanFaultInjector(plan, metrics=cluster.metrics),
+        )
+        clock = 0.0
+        serial = 0
+        while clock < 1.6:
+            cohort.step(clock)
+            # A steady mutation stream keeps INVALIDATE records on the
+            # wire so duplication faults have something to duplicate.
+            if serial % 4 == 0:
+                publisher = cohort.members[serial % cohort.size]
+                publisher.create(f"/fs/n{serial}", clock)
+            serial += 1
+            clock += 0.025
+        cohort.settle(1.6)
+        return cohort
+
+    def test_one_outage_counts_once_despite_duplicates(self):
+        # Heavy duplication: every heartbeat may arrive many times, and
+        # the islanded window makes both sides suspect each other.
+        cohort = self._run(duplicate_rate=0.9)
+        for gateway, peer in (("0", "2"), ("1", "2"), ("2", "0"), ("2", "1")):
+            assert _counter(cohort, "peer_missing", gateway, peer) == 1, (
+                gateway, peer,
+            )
+        # Members on the same side of the partition never suspected
+        # each other.
+        assert _counter(cohort, "peer_missing", "0", "1") == 0
+        assert _counter(cohort, "peer_missing", "1", "0") == 0
+        # And everyone recovered exactly once after the heal.
+        for gateway, peer in (("0", "2"), ("1", "2"), ("2", "0"), ("2", "1")):
+            assert _counter(cohort, "peer_recovered", gateway, peer) == 1
+
+    def test_duplicate_records_do_not_reapply(self):
+        cohort = self._run(duplicate_rate=0.9)
+        total_dupes = sum(
+            cohort.counter_snapshot()[
+                "gateway_cohort_duplicates_total"
+            ].values()
+        )
+        assert total_dupes > 0, "duplication faults never fired"
+        # Dedupe means applied counts can never exceed published * peers.
+        published = sum(
+            cohort.counter_snapshot()[
+                "gateway_cohort_published_total"
+            ].values()
+        )
+        applied = sum(
+            cohort.counter_snapshot()["gateway_cohort_applied_total"].values()
+        )
+        assert applied <= published * (cohort.size - 1)
