@@ -111,6 +111,39 @@ def snapshot_server(server: MetadataServer) -> Dict[str, Any]:
             str(home_id): _encode_filter(server.segment.get_replica(home_id))
             for home_id in server.hosted_replicas()
         },
+        # At-most-once write-back dedup: the per-origin cumulative-ack
+        # floor plus the exact outcome cache for versions above it are
+        # durable, so a node restored from this snapshot cannot re-apply
+        # a retried batch it already absorbed before crashing (gateway
+        # versions reach each home as a gappy subsequence, so the exact
+        # cache — not a high-water mark — is the dedup record).
+        "writeback_floor": {
+            str(origin): floor
+            for origin, floor in server.writeback_floor.items()
+        },
+        "writeback_outcomes": {
+            str(origin): {
+                str(version): _encode_outcome(outcome)
+                for version, outcome in outcomes.items()
+            }
+            for origin, outcomes in server.writeback_outcomes.items()
+        },
+    }
+
+
+def _encode_outcome(outcome: Any) -> Dict[str, Any]:
+    """JSON-safe form of a cached mutation outcome (dataclass or dict)."""
+    if isinstance(outcome, dict):
+        return dict(outcome)
+    return {
+        "version": outcome.version,
+        "op": outcome.op,
+        "path": outcome.path,
+        "applied": outcome.applied,
+        "conflict": outcome.conflict,
+        "changed": outcome.changed,
+        "deduped": outcome.deduped,
+        "new_version": outcome.new_version,
     }
 
 
@@ -122,6 +155,18 @@ def restore_server(entry: Dict[str, Any], config: GHBAConfig) -> MetadataServer:
     server.published_filter = _decode_filter(entry["published_filter"])
     for home_id, payload in entry["replicas"].items():
         server.host_replica(int(home_id), _decode_filter(payload))
+    # Absent in pre-write-back checkpoints; default to a clean slate.
+    server.writeback_floor = {
+        int(origin): int(floor)
+        for origin, floor in entry.get("writeback_floor", {}).items()
+    }
+    server.writeback_outcomes = {
+        int(origin): {
+            int(version): dict(outcome)
+            for version, outcome in outcomes.items()
+        }
+        for origin, outcomes in entry.get("writeback_outcomes", {}).items()
+    }
     server._refresh_memory_accounting()
     return server
 

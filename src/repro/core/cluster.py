@@ -96,13 +96,17 @@ class BatchVerifyResult:
     """Outcome of one multi-key direct verification at a single MDS.
 
     ``results`` maps each asked path to the record found there (``None``
-    when the server does not hold it).  ``degraded`` is True when the
-    target was unreachable (fault injection); the results are then empty
-    and the caller must fall back to the full query hierarchy.
+    when the server does not hold it).  ``versions`` carries the backend
+    path version of every asked path (0 for never-mutated paths) — the
+    base the gateway's write-back arbitration compares against.
+    ``degraded`` is True when the target was unreachable (fault
+    injection); the results are then empty and the caller must fall back
+    to the full query hierarchy.
     """
 
     server_id: int
     results: Dict[str, Optional[FileMetadata]] = field(default_factory=dict)
+    versions: Dict[str, int] = field(default_factory=dict)
     latency_ms: float = 0.0
     messages: int = 0
     degraded: bool = False
@@ -110,6 +114,71 @@ class BatchVerifyResult:
     @property
     def found(self) -> int:
         return sum(1 for record in self.results.values() if record is not None)
+
+
+@dataclass(frozen=True)
+class PathMutation:
+    """One buffered namespace mutation, as shipped in a MUTATE_BATCH.
+
+    ``version`` is the issuing gateway's monotonically increasing
+    mutation sequence number — with the gateway's ``origin`` ID it forms
+    the at-most-once dedup key.  ``op`` is ``"create"`` or ``"delete"``
+    (renames are barrier operations, never buffered).  ``base_version``
+    is the backend path version the client last observed; ``None`` means
+    the client held no lease and the apply is unconditional except for
+    the structural checks (a create must not mint a second home).
+    """
+
+    version: int
+    op: str
+    path: str
+    record: Optional[FileMetadata] = None
+    base_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MutationOutcome:
+    """How the home MDS disposed of one :class:`PathMutation`.
+
+    Exactly one of ``applied``/``conflict`` is True (a no-op delete of
+    an absent path counts as applied with ``changed=False``).
+    ``deduped`` marks a replay of an already-applied version (a retried
+    batch) — the effect happened once; only the ack is repeated.
+    """
+
+    version: int
+    op: str
+    path: str
+    applied: bool
+    conflict: bool = False
+    changed: bool = False
+    deduped: bool = False
+    new_version: int = 0
+
+
+@dataclass
+class BatchMutateResult:
+    """Outcome of one batched mutation flush at a single MDS.
+
+    Mirrors :class:`BatchVerifyResult`: ``degraded`` means the target
+    never answered (fault injection) and *nothing* was applied — the
+    caller may retry the identical batch; per-version dedup on the
+    server makes the retry at-most-once.
+    """
+
+    server_id: int
+    outcomes: List[MutationOutcome] = field(default_factory=list)
+    latency_ms: float = 0.0
+    messages: int = 0
+    degraded: bool = False
+
+    @property
+    def applied(self) -> int:
+        return sum(1 for o in self.outcomes if o.applied)
+
+    @property
+    def conflicts(self) -> int:
+        return sum(1 for o in self.outcomes if o.conflict)
 
 
 class GHBACluster:
@@ -172,6 +241,13 @@ class GHBACluster:
         #: Empty by default, so the mutation paths pay one truthiness
         #: check — the NULL_TRACER zero-overhead discipline.
         self._mutation_listeners: List[Callable[[MutationEvent], None]] = []
+        #: Backend path versions: bumped on every namespace mutation of a
+        #: path (create/delete/rename, through any entry point).  The
+        #: write-back gateway stamps its buffered mutations with the last
+        #: version it observed; :meth:`apply_mutation_batch` rejects a
+        #: mutation whose base lost the race instead of clobbering.
+        #: Never-mutated paths are implicitly at version 0.
+        self._path_versions: Dict[str, int] = {}
         self._bootstrap(num_servers)
 
     def _register_metrics(self, seed: int) -> None:
@@ -348,6 +424,15 @@ class GHBACluster:
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
+    def path_version(self, path: str) -> int:
+        """Backend version of ``path`` (0 when never mutated)."""
+        return self._path_versions.get(path, 0)
+
+    def _bump_path_version(self, path: str) -> int:
+        version = self._path_versions.get(path, 0) + 1
+        self._path_versions[path] = version
+        return version
+
     def insert_file(
         self, meta: FileMetadata, home_id: Optional[int] = None
     ) -> int:
@@ -355,6 +440,7 @@ class GHBACluster:
         if home_id is None:
             home_id = self._rng.choice(sorted(self.servers))
         self.servers[home_id].insert_metadata(meta)
+        self._bump_path_version(meta.path)
         if self._mutation_listeners:
             self._notify(
                 MutationEvent(op="create", path=meta.path, home_id=home_id)
@@ -374,6 +460,7 @@ class GHBACluster:
         if home_id is None:
             return None
         self.servers[home_id].remove_metadata(path)
+        self._bump_path_version(path)
         for server in self.servers.values():
             server.lru.invalidate(path)
         if self._mutation_listeners:
@@ -407,6 +494,7 @@ class GHBACluster:
                 home = server_ids[index % len(server_ids)]
             batches[home].append(FileMetadata(path=path, inode=inode + index))
             placement[path] = home
+            self._bump_path_version(path)
         for server_id, records in batches.items():
             if records:
                 self.servers[server_id].insert_many(records)
@@ -445,6 +533,10 @@ class GHBACluster:
                 new_meta = meta.renamed(new_prefix + path[len(old_prefix):])
                 server.store.put(new_meta)
                 server.local_filter.add(new_meta.path)
+                # Both names mutated: the old path vanished, the new one
+                # appeared — a buffered mutation based on either is stale.
+                self._bump_path_version(path)
+                self._bump_path_version(new_meta.path)
                 renamed += 1
             if victims:
                 server._refresh_memory_accounting()
@@ -731,6 +823,8 @@ class GHBACluster:
                 + (1.0 - meta_fraction) * net.disk_access_ms
             )
             result.results[path] = server.store.get(path)
+        for path in paths:
+            result.versions[path] = self._path_versions.get(path, 0)
         result.messages = 2
         result.latency_ms = latency
         self._messages.inc(2)
@@ -740,6 +834,215 @@ class GHBACluster:
             labels=("server",),
         ).labels(server_id).inc()
         return result
+
+    def apply_mutation_batch(
+        self,
+        server_id: int,
+        mutations: Sequence[PathMutation],
+        origin: int = 0,
+        acked_version: int = 0,
+        outstanding: int = 0,
+    ) -> BatchMutateResult:
+        """Apply one flushed write-back batch at its home MDS.
+
+        The gateway's flush path: every mutation buffered for
+        ``server_id`` arrives in one round trip, in version order.
+        Per-mutation arbitration:
+
+        - A ``base_version`` that no longer matches the live path version
+          (a direct mutation or a peer's flush won the race) **conflicts**:
+          nothing is clobbered, the outcome reports the winner's version
+          and the gateway re-reads.
+        - A create of a path already homed on a *different* MDS conflicts
+          (never mint a second home); a delete routed to the wrong MDS
+          conflicts likewise.
+        - A delete of an absent path is an applied no-op (the requested
+          final state already holds).
+
+        At-most-once: gateway versions are globally sequenced but each
+        home receives only a gappy subsequence, so dedup is **exact** —
+        a ``(origin, version)`` pair is a duplicate iff the version is
+        at or below the origin's cumulative-ack floor (settled
+        client-side, never retried) or present in the per-origin outcome
+        cache.  Duplicates are **replayed** from the cached outcome, not
+        re-applied.  ``acked_version`` advances the floor and prunes the
+        cache beneath it.
+
+        ``degraded`` (target silenced/unknown) means nothing was applied;
+        the caller may retry the identical batch.
+        """
+        if not mutations:
+            raise ValueError("apply_mutation_batch requires at least one mutation")
+        net = self.config.network
+        result = BatchMutateResult(server_id=server_id)
+        unreachable = server_id not in self.servers or (
+            self.faults.enabled and self.faults.is_silenced(server_id)
+        )
+        if unreachable:
+            # The request times out: one message on the wire, no reply.
+            result.degraded = True
+            result.messages = 1
+            result.latency_ms = net.round_trip_ms() + net.queueing_ms(
+                outstanding
+            )
+            self._messages.inc(1)
+            return result
+        server = self.servers[server_id]
+        floor = max(server.writeback_floor.get(origin, 0), acked_version)
+        server.writeback_floor[origin] = floor
+        cache = server.writeback_outcomes.setdefault(origin, {})
+        if floor:
+            for version in [v for v in cache if v <= floor]:
+                del cache[version]
+        latency = net.round_trip_ms() + net.queueing_ms(outstanding)
+        meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
+        record_ms = (
+            meta_fraction * net.memory_record_ms
+            + (1.0 - meta_fraction) * net.disk_access_ms
+        )
+        for mutation in mutations:
+            latency += net.memory_probe_ms
+            cached = cache.get(mutation.version)
+            if cached is not None:
+                # Retried batch: the effect already happened; repeat the
+                # ack (from the outcome cache) without touching state.
+                # A checkpoint round trip stores outcomes as dicts.
+                if isinstance(cached, MutationOutcome):
+                    applied, conflict = cached.applied, cached.conflict
+                    new_version = cached.new_version
+                else:
+                    applied = bool(cached.get("applied", True))
+                    conflict = bool(cached.get("conflict", False))
+                    new_version = int(cached.get("new_version", 0))
+                outcome = MutationOutcome(
+                    version=mutation.version,
+                    op=mutation.op,
+                    path=mutation.path,
+                    applied=applied,
+                    conflict=conflict,
+                    changed=False,
+                    deduped=True,
+                    new_version=new_version,
+                )
+                result.outcomes.append(outcome)
+                continue
+            if mutation.version <= floor:
+                # Settled client-side (the floor only covers versions the
+                # gateway will never retry): a stray re-delivery, acked
+                # as applied-without-detail.
+                outcome = MutationOutcome(
+                    version=mutation.version,
+                    op=mutation.op,
+                    path=mutation.path,
+                    applied=True,
+                    deduped=True,
+                    new_version=self._path_versions.get(mutation.path, 0),
+                )
+                result.outcomes.append(outcome)
+                continue
+            outcome = self._apply_one_mutation(server_id, server, mutation)
+            latency += record_ms if outcome.changed else 0.0
+            cache[mutation.version] = outcome
+            result.outcomes.append(outcome)
+        result.messages = 2
+        result.latency_ms = latency
+        self._messages.inc(2)
+        self.metrics.counter(
+            "ghba_batch_mutations_total",
+            "Write-back mutation batches applied, by server.",
+            labels=("server",),
+        ).labels(server_id).inc()
+        return result
+
+    def _apply_one_mutation(
+        self,
+        server_id: int,
+        server: MetadataServer,
+        mutation: PathMutation,
+    ) -> MutationOutcome:
+        """Arbitrate and apply one mutation; returns its outcome."""
+        path = mutation.path
+        current = self._path_versions.get(path, 0)
+        existing_home = self.home_of(path)
+        lost_race = (
+            mutation.base_version is not None
+            and mutation.base_version != current
+        )
+        if mutation.op == "create":
+            conflict = lost_race or (
+                existing_home is not None and existing_home != server_id
+            )
+            if conflict:
+                return MutationOutcome(
+                    version=mutation.version,
+                    op=mutation.op,
+                    path=path,
+                    applied=False,
+                    conflict=True,
+                    new_version=current,
+                )
+            assert mutation.record is not None
+            server.insert_metadata(mutation.record)
+            new_version = self._bump_path_version(path)
+            server.writeback_applied += 1
+            if self._mutation_listeners:
+                self._notify(
+                    MutationEvent(op="create", path=path, home_id=server_id)
+                )
+            return MutationOutcome(
+                version=mutation.version,
+                op=mutation.op,
+                path=path,
+                applied=True,
+                changed=True,
+                new_version=new_version,
+            )
+        if mutation.op == "delete":
+            if lost_race:
+                return MutationOutcome(
+                    version=mutation.version,
+                    op=mutation.op,
+                    path=path,
+                    applied=False,
+                    conflict=True,
+                    new_version=current,
+                )
+            if existing_home is None:
+                # Final state ("path absent") already holds.
+                return MutationOutcome(
+                    version=mutation.version,
+                    op=mutation.op,
+                    path=path,
+                    applied=True,
+                    new_version=current,
+                )
+            if existing_home != server_id:
+                return MutationOutcome(
+                    version=mutation.version,
+                    op=mutation.op,
+                    path=path,
+                    applied=False,
+                    conflict=True,
+                    new_version=current,
+                )
+            server.remove_metadata(path)
+            new_version = self._bump_path_version(path)
+            server.writeback_applied += 1
+            for other in self.servers.values():
+                other.lru.invalidate(path)
+            if self._mutation_listeners:
+                self._notify(
+                    MutationEvent(op="delete", path=path, home_id=server_id)
+                )
+            return MutationOutcome(
+                version=mutation.version,
+                op=mutation.op,
+                path=path,
+                applied=True,
+                changed=True,
+                new_version=new_version,
+            )
+        raise ValueError(f"unknown mutation op {mutation.op!r}")
 
     def _share_lru_hint(self, origin_id: int, path: str, home: int) -> int:
         """Cooperative caching (Section 7 extension): push the resolved

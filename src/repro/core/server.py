@@ -20,7 +20,7 @@ needs.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from typing import TYPE_CHECKING
 
@@ -96,6 +96,22 @@ class MetadataServer:
         #: Snapshot of the local filter as last replicated to remote groups;
         #: the XOR-threshold rule compares against this (Section 3.4).
         self.published_filter = self.local_filter.copy()
+        #: Write-back dedup state (at-most-once MUTATE_BATCH application).
+        #: Gateway versions are a *gateway-global* sequence, so each home
+        #: sees a gappy subsequence — a high-water mark cannot tell a
+        #: retry from an out-of-order first delivery.  Dedup is therefore
+        #: exact: ``writeback_floor`` is the per-origin cumulative-ack
+        #: floor (every version at or below it is settled client-side and
+        #: never retried), and ``writeback_outcomes`` caches the outcome
+        #: of every version applied *above* the floor.  A version is a
+        #: duplicate iff it is at or below the floor or present in the
+        #: cache.  Both ride :func:`~repro.core.checkpoint.snapshot_server`
+        #: so a crash between apply and ack cannot double-apply a retry.
+        self.writeback_floor: Dict[int, int] = {}
+        self.writeback_outcomes: Dict[int, Dict[int, Any]] = {}
+        #: Mutations this server actually applied (not deduped, not noop) —
+        #: the observable the at-most-once tests assert on.
+        self.writeback_applied = 0
         self._refresh_memory_accounting()
 
     # ------------------------------------------------------------------

@@ -24,6 +24,10 @@ traffic never reaches it:
   catch-up and a TTL clamp bounding staleness under partitions.
 - :mod:`repro.gateway.staleness` — the staleness-window auditor shared
   by the cohort bench and the correctness harness.
+- :mod:`repro.gateway.writeback` — the write-back mutation buffer:
+  per-home buckets of versioned final-state mutations, absorbed in
+  place, drained as batched ``MUTATE_BATCH`` flushes with lease-version
+  arbitration and explicit loss reporting (DESIGN.md §11).
 
 The gateway follows the repo's zero-overhead-when-disabled discipline:
 nothing here is imported by the cluster hot paths, and a cluster that is
@@ -48,6 +52,11 @@ from repro.gateway.cohort import (
 )
 from repro.gateway.hotspot import HotspotDetector, SpaceSavingSketch
 from repro.gateway.staleness import StaleRead, StalenessAuditor
+from repro.gateway.writeback import (
+    FlushReport,
+    MutationBuffer,
+    PendingMutation,
+)
 
 __all__ = [
     "AdmissionController",
@@ -70,4 +79,7 @@ __all__ = [
     "SpaceSavingSketch",
     "StaleRead",
     "StalenessAuditor",
+    "FlushReport",
+    "MutationBuffer",
+    "PendingMutation",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro.gateway bench --servers 20 --files 4000 --ops 6000 \\
         --clients 8 --profile HP --chaos --json gateway.json
     python -m repro.gateway bench --cohort 4 --json BENCH_cohort.json
+    python -m repro.gateway bench --writeback
 
 ``bench`` replays a synthetic :mod:`repro.traces` workload through a pool
 of concurrent clients fronted by one :class:`~repro.gateway.client.
@@ -29,6 +30,16 @@ Both sides are audited by the shared
 staleness p99, invalidation traffic, and backend-query reduction, and
 the bench exits nonzero on any staleness-bound violation.
 
+``bench --writeback`` compares mutation cost across gateway write modes:
+one trace replayed twice (identical fleet, crash windows and create
+placements), once with synchronous write-through mutations and once with
+the write-back buffer of :mod:`repro.gateway.writeback`.  The report
+shows backend mutation-RPC reduction and client-perceived mutation
+latency, and audits both replays against an acknowledgement oracle —
+every acked mutation durable, nothing unacked silently absorbed, zero
+divergences.  The gate (exit nonzero otherwise) is a >= 1.5x mutation-RPC
+reduction with zero divergences and zero stale reads.
+
 Everything runs on seeded RNGs and virtual time, so the same arguments
 always produce byte-identical reports — including under ``--chaos``,
 which runs the replay beneath a seeded fault plan (message loss plus a
@@ -39,7 +50,8 @@ from __future__ import annotations
 
 import argparse
 import json
-from typing import Dict, List, Optional
+import random
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cluster import GHBACluster, MutationEvent
 from repro.core.config import GHBAConfig
@@ -265,6 +277,301 @@ def run_bench(args) -> Dict[str, object]:
         ],
         "_gateway": gateway,  # stripped before serialization
     }
+
+
+def _writeback_crash_windows(
+    duration_s: float, servers: int
+) -> List[Tuple[float, float, int]]:
+    """Deterministic mid-trace MDS outages for the write-back bench.
+
+    Two non-overlapping windows, each silencing one home MDS for ~10% of
+    the trace.  Both end well before the trace does, so deferred flushes
+    retry to acknowledgement and the final barrier reports zero losses —
+    the loss path itself is exercised by the integration tests.
+    """
+    if duration_s <= 0 or servers < 3:
+        return []
+    return [
+        (duration_s * 0.30, duration_s * 0.40, 1),
+        (duration_s * 0.55, duration_s * 0.65, 2),
+    ]
+
+
+def _oracle_rename(oracle: Set[str], old_prefix: str, new_prefix: str) -> None:
+    """Mirror ``rename_subtree`` boundary semantics on the oracle set."""
+    victims = [
+        path
+        for path in oracle
+        if path == old_prefix or path.startswith(old_prefix + "/")
+    ]
+    for path in victims:
+        oracle.discard(path)
+        oracle.add(new_prefix + path[len(old_prefix):])
+
+
+def _replay_mutation_trace(
+    args,
+    records,
+    population: List[str],
+    writeback: bool,
+    windows: List[Tuple[float, float, int]],
+    placements: Dict[int, int],
+) -> Dict[str, object]:
+    """One mode's replay: full trace through a gateway, oracle alongside.
+
+    The oracle is an in-memory namespace of *acknowledged* state: it
+    applies write-through mutations synchronously and write-back
+    mutations at flush-ack (renames are synchronous in both modes).  At
+    the end-of-trace barrier the fleet must equal the oracle exactly —
+    every acknowledged mutation durable, nothing unacked silently
+    absorbed.
+    """
+    config = GHBAConfig(
+        max_group_size=args.group_size,
+        expected_files_per_mds=max(256, args.files * 3 // args.servers),
+        lru_capacity=max(256, args.files // 4),
+        lru_filter_bits=1 << 12,
+        seed=args.seed,
+    )
+    plan = FaultPlan(seed=args.seed, drop_rate=0.02 if args.chaos else 0.0)
+    injector = PlanFaultInjector(plan)
+    cluster = GHBACluster(args.servers, config, seed=args.seed, faults=injector)
+    cluster.populate(population)
+    cluster.synchronize_replicas(force=True)
+    client = MetadataClient(
+        cluster,
+        GatewayConfig(
+            cache_capacity=args.cache_capacity,
+            lease_ttl_s=args.lease_ttl_s,
+            rate_per_s=args.rate_per_s,
+            burst=max(args.clients * 4.0, 64.0),
+            hot_threshold=args.hot_threshold,
+            writeback=writeback,
+            flush_max_pending=args.flush_max_pending,
+            flush_age_s=args.flush_age_s,
+            writeback_seed=args.seed,
+        ),
+    )
+
+    oracle: Set[str] = set(population)
+    if writeback:
+        def on_ack(mutation, outcome) -> None:
+            if outcome is None or not outcome.applied:
+                return  # lost or conflicted: never acknowledged
+            if mutation.op == "create":
+                oracle.add(mutation.path)
+            else:
+                oracle.discard(mutation.path)
+
+        client.add_ack_listener(on_ack)
+
+    mutation_latencies: List[float] = []
+    stale_reads = 0
+    overlay_mismatches = 0
+
+    def audit(response) -> None:
+        nonlocal stale_reads, overlay_mismatches
+        if response.from_overlay:
+            # Read-your-writes: the answer must match the pending intent,
+            # not the (behind) fleet.
+            pending = (
+                client.writeback.get(response.path)
+                if client.writeback is not None
+                else None
+            )
+            if pending is None or (
+                (pending.op == "create") != response.found
+            ):
+                overlay_mismatches += 1
+            return
+        if not response.from_cache:
+            return
+        live_home = cluster.home_of(response.path)
+        if live_home != response.home_id:
+            stale_reads += 1
+
+    for index, record in enumerate(records):
+        now = record.timestamp
+        injector.advance(now)
+        for start, end, server_id in windows:
+            if start <= now < end:
+                injector.silence(server_id)
+            else:
+                injector.restore(server_id)
+        if record.op.is_lookup:
+            audit(client.lookup(record.path, now))
+        elif record.op is MetadataOp.CREATE:
+            response = client.create(
+                record.path, now, home_id=placements[index]
+            )
+            mutation_latencies.append(response.latency_ms)
+            if not writeback:
+                oracle.add(record.path)
+        elif record.op is MetadataOp.UNLINK:
+            response = client.delete(record.path, now)
+            mutation_latencies.append(response.latency_ms)
+            if not writeback or response.outcome is not Outcome.BUFFERED:
+                # Write-through, or a write-back passthrough delete (no
+                # routing lease during a degraded multicast): applied
+                # synchronously, so the oracle learns it here, not at ack.
+                oracle.discard(record.path)
+        elif record.op is MetadataOp.RENAME:
+            client.rename(record.path, record.new_path, now)
+            _oracle_rename(oracle, record.path, record.new_path)
+
+    end_of_trace = records[-1].timestamp if records else 0.0
+    for _, _, server_id in windows:
+        injector.restore(server_id)
+    lost = 0
+    if writeback:
+        client.flush_barrier(end_of_trace)
+        lost = len(client.lost_mutations)
+    fleet = {
+        meta.path
+        for server in cluster.servers.values()
+        for meta in server.store.records()
+    }
+    wb = {key: counter for key, counter in client._wb.items()}
+    return {
+        "mutation_rpcs": client.backend_mutations,
+        "mutation_p50_ms": round(_percentile(mutation_latencies, 50), 4),
+        "mutation_p99_ms": round(_percentile(mutation_latencies, 99), 4),
+        "oracle_divergences": len(fleet ^ oracle),
+        "stale_reads": stale_reads,
+        "overlay_mismatches": overlay_mismatches,
+        "lost_reported": lost,
+        "flush_batches": int(wb["flush_batches"].value),
+        "flush_retries": int(wb["retries"].value),
+        "absorbed": int(wb["absorbed"].value),
+        "overlay_hits": int(wb["overlay_hits"].value),
+        "conflicts": int(wb["conflicts"].value),
+        "deferred": int(wb["deferred"].value),
+        "fleet": fleet,  # stripped before serialization
+    }
+
+
+def run_writeback_bench(args) -> Dict[str, object]:
+    """Write-through vs write-back on one trace: RPCs, latency, losses.
+
+    Both replays see the identical op stream, MDS fleet, crash windows
+    and create placements (drawn from a bench-level RNG and passed as
+    explicit home hints), so the end-of-run namespaces must match each
+    other *and* each mode's acknowledgement oracle exactly.
+    """
+    profile = PROFILES[args.profile]
+    generator = SyntheticTraceGenerator(
+        profile, num_files=args.files, seed=args.seed
+    )
+    records = list(generator.generate(args.ops))
+    duration = records[-1].timestamp if records else 0.0
+    windows = _writeback_crash_windows(duration, args.servers)
+    placement_rng = random.Random(args.seed ^ 0x57B0)
+    placements = {
+        index: placement_rng.randrange(args.servers)
+        for index, record in enumerate(records)
+        if record.op is MetadataOp.CREATE
+    }
+
+    through = _replay_mutation_trace(
+        args, records, generator.paths, False, windows, placements
+    )
+    back = _replay_mutation_trace(
+        args, records, generator.paths, True, windows, placements
+    )
+    cross_mode = len(through.pop("fleet") ^ back.pop("fleet"))  # type: ignore[arg-type]
+    wb_rpcs = back["mutation_rpcs"]
+    reduction = (
+        through["mutation_rpcs"] / wb_rpcs if wb_rpcs else float("inf")
+    )
+    mutations = sum(1 for r in records if r.op.mutates_namespace)
+    return {
+        "seed": args.seed,
+        "profile": args.profile,
+        "servers": args.servers,
+        "ops": len(records),
+        "mutations": mutations,
+        "chaos": bool(args.chaos),
+        "crash_windows": len(windows),
+        "writethrough": through,
+        "writeback": back,
+        "mutation_rpc_reduction": round(reduction, 3),
+        "mode_namespace_divergence": cross_mode,
+    }
+
+
+def render_writeback_bench(stats: Dict[str, object]) -> str:
+    through: Dict[str, object] = stats["writethrough"]  # type: ignore[assignment]
+    back: Dict[str, object] = stats["writeback"]  # type: ignore[assignment]
+    return "\n".join(
+        [
+            "== gateway write-back bench ==",
+            f"workload                : {stats['profile']} x {stats['ops']} ops "
+            f"({stats['mutations']} mutations), seed {stats['seed']}, "
+            f"{stats['crash_windows']} crash windows"
+            + (" (chaos)" if stats["chaos"] else ""),
+            f"mutation RPCs           : write-through {through['mutation_rpcs']} "
+            f"vs write-back {back['mutation_rpcs']}",
+            f"mutation RPC reduction  : x{stats['mutation_rpc_reduction']:.2f}",
+            f"mutation p50/p99 ms     : write-through "
+            f"{through['mutation_p50_ms']:.4f} / {through['mutation_p99_ms']:.4f}"
+            f" vs write-back {back['mutation_p50_ms']:.4f} / "
+            f"{back['mutation_p99_ms']:.4f}",
+            f"flush batches (retries) : {back['flush_batches']} "
+            f"({back['flush_retries']})",
+            f"absorbed / overlay hits : {back['absorbed']} / "
+            f"{back['overlay_hits']}",
+            f"conflicts / deferred    : {back['conflicts']} / "
+            f"{back['deferred']}",
+            f"losses reported         : {back['lost_reported']}",
+            f"oracle divergences      : write-through "
+            f"{through['oracle_divergences']}, write-back "
+            f"{back['oracle_divergences']}",
+            f"cross-mode divergence   : {stats['mode_namespace_divergence']}",
+            f"stale reads             : {back['stale_reads']} "
+            f"(overlay mismatches {back['overlay_mismatches']})",
+        ]
+    )
+
+
+def _cmd_writeback_bench(args) -> int:
+    stats = run_writeback_bench(args)
+    print(render_writeback_bench(stats))
+    if args.json is None:
+        args.json = "BENCH_writeback.json"
+    # Same nested shape the benchmarks suite's update_bench_json writes,
+    # so the CLI and pytest emit interchangeable artifacts.
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"gateway_writeback": stats}, handle, indent=2, sort_keys=True
+        )
+        handle.write("\n")
+    print(f"\nwrote bench stats to {args.json}")
+    through: Dict[str, object] = stats["writethrough"]  # type: ignore[assignment]
+    back: Dict[str, object] = stats["writeback"]  # type: ignore[assignment]
+    failures = []
+    if stats["mutation_rpc_reduction"] < 1.5:  # type: ignore[operator]
+        failures.append(
+            f"mutation RPC reduction x{stats['mutation_rpc_reduction']} < x1.5"
+        )
+    for label, side in (("write-through", through), ("write-back", back)):
+        if side["oracle_divergences"]:
+            failures.append(
+                f"{side['oracle_divergences']} {label} oracle divergences"
+            )
+    if back["stale_reads"] or back["overlay_mismatches"]:
+        failures.append(
+            f"{back['stale_reads']} stale reads, "
+            f"{back['overlay_mismatches']} overlay mismatches"
+        )
+    if stats["mode_namespace_divergence"]:
+        failures.append(
+            f"{stats['mode_namespace_divergence']} cross-mode namespace "
+            "divergences"
+        )
+    if failures:
+        print("FAILED: " + "; ".join(failures))
+        return 1
+    return 0
 
 
 def _cohort_fault_plan(seed: int, size: int, duration_s: float) -> FaultPlan:
@@ -576,6 +883,8 @@ def _cmd_bench(args) -> int:
     _resolve_bench_defaults(args)
     if args.cohort is not None:
         return _cmd_cohort_bench(args)
+    if args.writeback:
+        return _cmd_writeback_bench(args)
     stats = run_bench(args)
     print(render_bench(stats, top=args.top))
     failures = []
@@ -638,6 +947,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cohort", type=_positive_int, default=None, metavar="N",
         help="distributed-cohort mode: N multicast-coherent gateways vs "
         "N independent gateways (always under a seeded fault plan)",
+    )
+    bench.add_argument(
+        "--writeback", action="store_true",
+        help="write-back mode: compare buffered/batched mutations against "
+        "write-through on one trace (with deterministic MDS crash "
+        "windows); default JSON artifact BENCH_writeback.json",
+    )
+    bench.add_argument(
+        "--flush-max-pending", type=_positive_int, default=16,
+        help="write-back: flush a home's bucket at this many pending",
+    )
+    bench.add_argument(
+        "--flush-age-s", type=float, default=0.25,
+        help="write-back: flush once the oldest pending is this old",
     )
     bench.add_argument(
         "--heartbeat-s", type=float, default=0.05,

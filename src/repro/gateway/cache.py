@@ -51,6 +51,10 @@ class CacheEntry:
     negative: bool = False
     pinned: bool = False
     version: int = 0
+    #: Backend path version at install time (``None`` when the installer
+    #: did not learn one) — the base the write-back buffer stamps on
+    #: mutations so the home MDS can arbitrate version races.
+    backend_version: Optional[int] = None
 
     def fresh(self, now: float) -> bool:
         return now < self.expires_at
@@ -175,6 +179,7 @@ class GatewayCache:
         record: Optional[FileMetadata],
         now: float,
         hot: bool = False,
+        backend_version: Optional[int] = None,
     ) -> CacheEntry:
         """Install (or refresh) a positive lease."""
         ttl = self.hot_lease_ttl_s if hot else self.lease_ttl_s
@@ -187,10 +192,16 @@ class GatewayCache:
                 record=record,
                 expires_at=now + ttl,
                 pinned=hot,
+                backend_version=backend_version,
             )
         )
 
-    def put_negative(self, path: str, now: float) -> CacheEntry:
+    def put_negative(
+        self,
+        path: str,
+        now: float,
+        backend_version: Optional[int] = None,
+    ) -> CacheEntry:
         """Install (or refresh) a negative lease (path exists nowhere)."""
         ttl = self.negative_ttl_s
         if self.ttl_clamp_s is not None:
@@ -202,6 +213,7 @@ class GatewayCache:
                 record=None,
                 expires_at=now + ttl,
                 negative=True,
+                backend_version=backend_version,
             )
         )
 

@@ -31,14 +31,21 @@ cached**, so a partition cannot poison the gateway.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.cluster import GHBACluster, MutationEvent
+from repro.core.cluster import GHBACluster, MutationEvent, MutationOutcome
 from repro.gateway.admission import AdmissionController
 from repro.gateway.cache import GatewayCache
 from repro.gateway.coalesce import HomeBatcher, coalesce
 from repro.gateway.hotspot import HeavyHitter, HotspotDetector
+from repro.gateway.writeback import (
+    AckListener,
+    FlushReport,
+    MutationBuffer,
+    PendingMutation,
+)
 from repro.metadata.attributes import FileMetadata
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -54,6 +61,8 @@ class Outcome(enum.Enum):
     COALESCED = "coalesced"        # piggybacked on a same-tick flight
     QUEUED = "queued"              # parked by admission; completes later
     REJECTED = "rejected"          # shed by admission control
+    OVERLAY = "overlay"            # answered by a pending write-back entry
+    BUFFERED = "buffered"          # mutation parked in the write-back buffer
 
     @property
     def is_answer(self) -> bool:
@@ -76,6 +85,11 @@ class GatewayResponse:
     latency_ms: float = 0.0
     degraded: bool = False
     from_cache: bool = False
+    #: True when the answer came from the client's own unflushed
+    #: write-back buffer (read-your-writes): definitionally *ahead* of
+    #: the fleet, so the stale-read audit must not compare it against
+    #: live backend state the way it re-checks ``from_cache`` answers.
+    from_overlay: bool = False
 
     @property
     def found(self) -> bool:
@@ -104,12 +118,52 @@ class GatewayConfig:
     # Client-side cost model: a lease answer costs one local memory probe
     # equivalent; it never touches the network.
     cache_hit_latency_ms: float = 0.001
+    # Write-back mutation buffering (DESIGN.md §11).  Off by default:
+    # mutations stay synchronous write-through, bit-identical to PR 3.
+    writeback: bool = False
+    #: Flush a home's bucket once it holds this many pending mutations.
+    flush_max_pending: int = 16
+    #: ... or once its oldest pending mutation is this old (virtual s).
+    flush_age_s: float = 0.25
+    #: Attempts per flush before the batch is re-parked (or, at a
+    #: barrier, declared lost).
+    flush_retry_limit: int = 3
+    #: After an unreachable-home flush re-parks its batch, leave that
+    #: home alone for this long before the triggers may fire again —
+    #: otherwise every enqueue/lookup during an outage re-burns the full
+    #: retry budget.  Barriers ignore the backoff.
+    flush_retry_backoff_s: float = 0.5
+    #: Seed of the gateway-local RNG that places buffered creates with
+    #: no home hint; separate from the cluster's RNG so buffering does
+    #: not perturb backend query streams.
+    writeback_seed: int = 0
+    #: Origin ID in the at-most-once dedup key (cohort members pass
+    #: their member ID).
+    writeback_origin: int = 0
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
             raise ValueError(
                 f"cache_capacity must be >= 1, got {self.cache_capacity}"
             )
+        if self.writeback:
+            if self.flush_max_pending < 1:
+                raise ValueError(
+                    f"flush_max_pending must be >= 1, got {self.flush_max_pending}"
+                )
+            if self.flush_age_s <= 0:
+                raise ValueError(
+                    f"flush_age_s must be positive, got {self.flush_age_s}"
+                )
+            if self.flush_retry_limit < 1:
+                raise ValueError(
+                    f"flush_retry_limit must be >= 1, got {self.flush_retry_limit}"
+                )
+            if self.flush_retry_backoff_s < 0:
+                raise ValueError(
+                    "flush_retry_backoff_s must be non-negative, "
+                    f"got {self.flush_retry_backoff_s}"
+                )
 
 
 class MetadataClient:
@@ -172,6 +226,22 @@ class MetadataClient:
             hot_threshold=cfg.hot_threshold,
         )
         self.backend_queries = 0  # full walks + batch round trips
+        #: Mutation-path RPCs to the fleet: write-through mutations, flush
+        #: batches (and their retries), renames, conflict re-reads and
+        #: delete-routing resolutions — the figure BENCH_writeback.json
+        #: compares across modes.
+        self.backend_mutations = 0
+        #: The write-back tier (None in write-through mode).
+        self.writeback: Optional[MutationBuffer] = (
+            MutationBuffer() if cfg.writeback else None
+        )
+        self._wb_rng = random.Random(cfg.writeback_seed)
+        self._wb_created = 0
+        self._wb_backoff: Dict[int, float] = {}
+        self._ack_listeners: List[AckListener] = []
+        #: Mutations declared lost (explicitly — at a barrier or a rename
+        #: partial barrier), for harness introspection.
+        self.lost_mutations: List[PendingMutation] = []
         self._register_metrics()
         self.hooked = register_mutation_hook
         if register_mutation_hook:
@@ -223,6 +293,69 @@ class MetadataClient:
             "gateway_degraded_uncached_total",
             "Degraded backend answers returned but not cached.",
         )
+        # Write-back family (registered unconditionally so determinism
+        # snapshots see identical shapes in both modes; all stay zero in
+        # write-through mode).
+        self._wb = {
+            "enqueued": m.counter(
+                "gateway_writeback_enqueued_total",
+                "Mutations parked in the write-back buffer, by op.",
+                labels=("op",),
+            ),
+            "absorbed": m.counter(
+                "gateway_writeback_absorbed_total",
+                "Pending same-path mutations absorbed by a newer intent.",
+            ),
+            "overlay_hits": m.counter(
+                "gateway_writeback_overlay_hits_total",
+                "Lookups answered from the pending-mutation overlay.",
+            ),
+            "flush_batches": m.counter(
+                "gateway_writeback_flush_batches_total",
+                "MUTATE_BATCH flushes attempted (including retries).",
+            ),
+            "retries": m.counter(
+                "gateway_writeback_retries_total",
+                "Flush attempts that found the home unreachable.",
+            ),
+            "flushed": m.counter(
+                "gateway_writeback_flushed_total",
+                "Mutations acknowledged by their home MDS, by op.",
+                labels=("op",),
+            ),
+            "conflicts": m.counter(
+                "gateway_writeback_conflict_total",
+                "Flushed mutations that lost a version race (re-read, "
+                "never clobbered).",
+            ),
+            "lost": m.counter(
+                "gateway_writeback_lost_total",
+                "Mutations declared lost at a flush barrier.",
+            ),
+            "deferred": m.counter(
+                "gateway_writeback_deferred_total",
+                "Mutations re-parked after an unreachable-home flush.",
+            ),
+            "barriers": m.counter(
+                "gateway_writeback_barrier_total",
+                "Explicit flush barriers executed.",
+            ),
+            "rename_barriers": m.counter(
+                "gateway_writeback_rename_barrier_total",
+                "Renames that forced a partial flush of overlapping "
+                "pending mutations.",
+            ),
+            "rereads": m.counter(
+                "gateway_writeback_reread_total",
+                "Backend re-reads after a write-back conflict.",
+            ),
+            "passthrough": m.counter(
+                "gateway_writeback_passthrough_total",
+                "Mutations served write-through despite write-back mode, "
+                "by op (unroutable deletes, renames).",
+                labels=("op",),
+            ),
+        }
 
     def refresh_gauges(self) -> None:
         """Point-in-time gateway gauges (hit rate, occupancy, hot set)."""
@@ -294,6 +427,8 @@ class MetadataClient:
         for everything shed.  Queued requests are absent from the return
         and complete on a later tick.
         """
+        if self.writeback is not None:
+            self.maybe_flush(now)
         for _ in paths:
             self._requests.labels("lookup").inc()
         stats = self.admission.stats
@@ -328,6 +463,8 @@ class MetadataClient:
 
     def pump(self, now: float) -> List[GatewayResponse]:
         """Advance the admission queue without submitting new work."""
+        if self.writeback is not None:
+            self.maybe_flush(now)
         stats = self.admission.stats
         before = (stats.shed_full, stats.shed_deadline, stats.queued)
         admitted, shed = self.admission.pump(now)
@@ -350,6 +487,28 @@ class MetadataClient:
         predictions: List[Tuple[str, Optional[int]]] = []
         flight = coalesce(paths)
         for path in flight.leaders:
+            # ---- write-back overlay: read-your-writes ----------------
+            if self.writeback is not None:
+                pending = self.writeback.get(path)
+                if pending is not None:
+                    self._wb["overlay_hits"].inc()
+                    if pending.op == "create":
+                        answered[path] = GatewayResponse(
+                            path=path,
+                            outcome=Outcome.OVERLAY,
+                            home_id=pending.home_id,
+                            record=pending.record,
+                            latency_ms=cfg.cache_hit_latency_ms,
+                            from_overlay=True,
+                        )
+                    else:  # pending delete: the path is (about to be) gone
+                        answered[path] = GatewayResponse(
+                            path=path,
+                            outcome=Outcome.OVERLAY,
+                            latency_ms=cfg.cache_hit_latency_ms,
+                            from_overlay=True,
+                        )
+                    continue
             lookup = self.cache.get(path, now)
             if lookup.hit:
                 if lookup.negative:
@@ -392,7 +551,14 @@ class MetadataClient:
                     continue
                 self._batched.inc()
                 hot = self.hotspots.is_hot(path)
-                self.cache.put(path, batch.home_id, record, now, hot=hot)
+                self.cache.put(
+                    path,
+                    batch.home_id,
+                    record,
+                    now,
+                    hot=hot,
+                    backend_version=outcome.versions.get(path),
+                )
                 answered[path] = GatewayResponse(
                     path=path,
                     outcome=Outcome.BATCHED,
@@ -414,9 +580,18 @@ class MetadataClient:
                 self._uncacheable.inc()
             elif result.home_id is not None:
                 hot = self.hotspots.is_hot(path)
-                self.cache.put(path, result.home_id, record, now, hot=hot)
+                self.cache.put(
+                    path,
+                    result.home_id,
+                    record,
+                    now,
+                    hot=hot,
+                    backend_version=self.cluster.path_version(path),
+                )
             else:
-                self.cache.put_negative(path, now)
+                self.cache.put_negative(
+                    path, now, backend_version=self.cluster.path_version(path)
+                )
             answered[path] = GatewayResponse(
                 path=path,
                 outcome=Outcome.SERVED,
@@ -436,14 +611,13 @@ class MetadataClient:
             for path in flight.leaders:
                 response = answered[path]
                 span = self.tracer.start_span(path, -1)
+                local = response.from_cache or response.from_overlay
                 span.event(
                     "gw_cache",
-                    hit=response.from_cache,
-                    latency_ms=(
-                        response.latency_ms if response.from_cache else 0.0
-                    ),
+                    hit=local,
+                    latency_ms=(response.latency_ms if local else 0.0),
                 )
-                if not response.from_cache:
+                if not local:
                     span.event(
                         "gw_backend",
                         target=response.home_id,
@@ -455,7 +629,7 @@ class MetadataClient:
                     f"GW-{response.outcome.name}",
                     response.home_id,
                     response.latency_ms,
-                    0 if response.from_cache else 2,
+                    0 if local else 2,
                 )
         # ---- fan out to waiters ---------------------------------------
         responses: List[GatewayResponse] = [None] * len(paths)  # type: ignore[list-item]
@@ -474,6 +648,7 @@ class MetadataClient:
                         latency_ms=base.latency_ms,
                         degraded=base.degraded,
                         from_cache=base.from_cache,
+                        from_overlay=base.from_overlay,
                     )
         return list(responses)
 
@@ -483,37 +658,433 @@ class MetadataClient:
     def create(
         self, path: str, now: float = 0.0, home_id: Optional[int] = None
     ) -> GatewayResponse:
-        """Create ``path`` on the cluster; write-through the new lease."""
+        """Create ``path``.
+
+        Write-through mode: synchronous insert at the cluster plus a
+        fresh lease.  Write-back mode: the create parks in the buffer
+        (``BUFFERED``) with a versioned final-state record; the flush
+        engine applies it in a batched ``MUTATE_BATCH`` later.
+        """
         self._requests.labels("create").inc()
+        if self.writeback is not None:
+            return self._buffer_create(path, now, home_id)
         inode = sum(s.file_count for s in self.cluster.servers.values())
         home = self.cluster.insert_file(
             FileMetadata(path=path, inode=inode), home_id=home_id
         )
+        self.backend_mutations += 1
+        self._backend.labels("mutate").inc()
         # The mutation hook dropped any (negative) lease; write through.
         record = self.cluster.servers[home].store.get(path)
-        self.cache.put(path, home, record, now)
+        self.cache.put(
+            path,
+            home,
+            record,
+            now,
+            backend_version=self.cluster.path_version(path),
+        )
         return GatewayResponse(
-            path=path, outcome=Outcome.SERVED, home_id=home, record=record
+            path=path,
+            outcome=Outcome.SERVED,
+            home_id=home,
+            record=record,
+            latency_ms=self.cluster.config.network.round_trip_ms(),
         )
 
     def delete(self, path: str, now: float = 0.0) -> GatewayResponse:
         """Delete ``path``; a negative lease remembers the absence."""
         self._requests.labels("delete").inc()
+        if self.writeback is not None:
+            return self._buffer_delete(path, now)
         home = self.cluster.delete_file(path)
+        self.backend_mutations += 1
+        self._backend.labels("mutate").inc()
         if home is not None:
-            self.cache.put_negative(path, now)
+            self.cache.put_negative(
+                path, now, backend_version=self.cluster.path_version(path)
+            )
         return GatewayResponse(
             path=path,
             outcome=Outcome.SERVED if home is not None else Outcome.NEGATIVE_HIT,
             home_id=home,
+            latency_ms=self.cluster.config.network.round_trip_ms(),
         )
 
     def rename(
         self, old_prefix: str, new_prefix: str, now: float = 0.0
     ) -> int:
-        """Rename a subtree; the mutation hook invalidates both prefixes."""
+        """Rename a subtree; the mutation hook invalidates both prefixes.
+
+        Renames are **barrier operations** in write-back mode: every
+        pending mutation whose path falls under either prefix is flushed
+        first (boundary-aware — a pending ``/a/bc`` survives a rename of
+        ``/a/b``), then the rename applies synchronously.  A pending
+        mutation whose home is unreachable during the partial barrier is
+        declared lost (counted and recorded), never silently dropped —
+        its path is about to change, so re-parking it is not sound.
+        """
         self._requests.labels("rename").inc()
-        return self.cluster.rename_subtree(old_prefix, new_prefix)
+        if self.writeback is not None:
+            affected = set(self.writeback.paths_under(old_prefix))
+            affected.update(self.writeback.paths_under(new_prefix))
+            if affected:
+                self._wb["rename_barriers"].inc()
+                grouped = self.writeback.drain_paths(affected)
+                for home in sorted(grouped):
+                    self._flush_mutations(home, grouped[home], now, final=True)
+            self._wb["passthrough"].labels("rename").inc()
+        renamed = self.cluster.rename_subtree(old_prefix, new_prefix)
+        self.backend_mutations += 1
+        self._backend.labels("mutate").inc()
+        return renamed
+
+    # ------------------------------------------------------------------
+    # Write-back buffering
+    # ------------------------------------------------------------------
+    def add_ack_listener(self, listener: AckListener) -> None:
+        """Register a callback fired at flush-ack time.
+
+        Called as ``listener(mutation, outcome)`` when the home MDS
+        settles a buffered mutation (``outcome.applied``/``.conflict``
+        tell how), and as ``listener(mutation, None)`` when the mutation
+        is declared lost.  The cohort tier mints invalidation records
+        here — never at enqueue time, because an unflushed mutation has
+        not happened as far as the fleet (and every peer) is concerned.
+        """
+        self._ack_listeners.append(listener)
+
+    def _fire_ack(
+        self, mutation: PendingMutation, outcome: Optional[MutationOutcome]
+    ) -> None:
+        for listener in self._ack_listeners:
+            listener(mutation, outcome)
+
+    def _buffer_create(
+        self, path: str, now: float, home_id: Optional[int]
+    ) -> GatewayResponse:
+        buffer = self.writeback
+        assert buffer is not None
+        pending = buffer.get(path)
+        base_version: Optional[int] = None
+        if home_id is None:
+            if pending is not None:
+                # Same-path overwrite: stay at the pending home (enqueue
+                # keeps the original base when absorbing).
+                home_id = pending.home_id
+            else:
+                entry = self.cache.peek(path)
+                if entry is not None and entry.home_id is not None:
+                    home_id = entry.home_id
+                else:
+                    home_id = self._wb_rng.choice(sorted(self.cluster.servers))
+        if pending is None:
+            entry = self.cache.peek(path)
+            if entry is not None:
+                base_version = entry.backend_version
+        record = FileMetadata(path=path, inode=self._next_inode())
+        buffer.enqueue(
+            "create",
+            path,
+            home_id,
+            now,
+            record=record,
+            base_version=base_version,
+        )
+        self._wb["enqueued"].labels("create").inc()
+        self._mirror_absorbed()
+        self.maybe_flush(now)
+        pending_after = buffer.get(path)
+        return GatewayResponse(
+            path=path,
+            outcome=Outcome.BUFFERED,
+            home_id=(
+                pending_after.home_id if pending_after is not None else home_id
+            ),
+            record=record,
+            latency_ms=self.config.cache_hit_latency_ms,
+            from_overlay=True,
+        )
+
+    def _buffer_delete(self, path: str, now: float) -> GatewayResponse:
+        buffer = self.writeback
+        assert buffer is not None
+        pending = buffer.get(path)
+        home_id: Optional[int] = None
+        base_version: Optional[int] = None
+        latency_ms = self.config.cache_hit_latency_ms
+        if pending is not None:
+            home_id = pending.home_id
+        else:
+            entry = self.cache.peek(path)
+            if entry is not None and entry.negative and entry.fresh(now):
+                # Fresh negative lease: the path is known absent.
+                return GatewayResponse(
+                    path=path,
+                    outcome=Outcome.NEGATIVE_HIT,
+                    latency_ms=self.config.cache_hit_latency_ms,
+                    from_cache=True,
+                )
+            if entry is not None and entry.home_id is not None:
+                home_id = entry.home_id
+                base_version = entry.backend_version
+            else:
+                # No routing hint: resolve the home through the backend
+                # (a mutation-path RPC) so the delete batches correctly;
+                # the caller blocked on that round trip.
+                home_id, base_version, degraded = self._resolve_for_delete(
+                    path, now
+                )
+                latency_ms = self.cluster.config.network.round_trip_ms()
+                if degraded:
+                    # Partial multicast: routing unknown.  Never drop the
+                    # delete — fall through to the synchronous path (the
+                    # cluster owns routing), exactly as write-through
+                    # would.  Guessing a home is not sound: a wrong-home
+                    # delete settles as a conflict, not a retry.
+                    self._wb["passthrough"].labels("delete").inc()
+                    home = self.cluster.delete_file(path)
+                    self.backend_mutations += 1
+                    self._backend.labels("mutate").inc()
+                    if home is not None:
+                        self.cache.put_negative(
+                            path,
+                            now,
+                            backend_version=self.cluster.path_version(path),
+                        )
+                    return GatewayResponse(
+                        path=path,
+                        outcome=(
+                            Outcome.SERVED
+                            if home is not None
+                            else Outcome.NEGATIVE_HIT
+                        ),
+                        home_id=home,
+                        latency_ms=latency_ms,
+                    )
+                if home_id is None:
+                    return GatewayResponse(
+                        path=path,
+                        outcome=Outcome.NEGATIVE_HIT,
+                        latency_ms=latency_ms,
+                    )
+        buffer.enqueue(
+            "delete", path, home_id, now, base_version=base_version
+        )
+        self._wb["enqueued"].labels("delete").inc()
+        self._mirror_absorbed()
+        self.maybe_flush(now)
+        return GatewayResponse(
+            path=path,
+            outcome=Outcome.BUFFERED,
+            latency_ms=latency_ms,
+            from_overlay=True,
+        )
+
+    def _resolve_for_delete(
+        self, path: str, now: float
+    ) -> Tuple[Optional[int], Optional[int], bool]:
+        """Find the home (and base version) of a delete with no lease.
+
+        Returns ``(home_id, base_version, degraded)``; ``degraded`` means
+        the multicast was partial and *nothing* can be concluded — the
+        caller must not treat the path as absent.
+        """
+        result = self.cluster.query(path)
+        self.backend_mutations += 1
+        self._backend.labels("mutate_resolve").inc()
+        if result.degraded:
+            self._uncacheable.inc()
+            return None, None, True
+        version = self.cluster.path_version(path)
+        if result.home_id is None:
+            self.cache.put_negative(path, now, backend_version=version)
+            return None, None, False
+        record = self.cluster.servers[result.home_id].store.get(path)
+        self.cache.put(
+            path, result.home_id, record, now, backend_version=version
+        )
+        return result.home_id, version, False
+
+    def _next_inode(self) -> int:
+        inode = (
+            sum(s.file_count for s in self.cluster.servers.values())
+            + self._wb_created
+        )
+        self._wb_created += 1
+        return inode
+
+    def _mirror_absorbed(self) -> None:
+        """Mirror the buffer's absorption tally into the counter."""
+        buffer = self.writeback
+        assert buffer is not None
+        delta = buffer.absorbed - int(self._wb["absorbed"].value)
+        if delta:
+            self._wb["absorbed"].inc(delta)
+
+    # ------------------------------------------------------------------
+    # The flush engine
+    # ------------------------------------------------------------------
+    def maybe_flush(self, now: float) -> FlushReport:
+        """Flush every home bucket that tripped a size or age trigger."""
+        report = FlushReport()
+        buffer = self.writeback
+        if buffer is None:
+            return report
+        cfg = self.config
+        for home_id in buffer.homes():
+            if self._wb_backoff.get(home_id, 0.0) > now:
+                continue
+            if (
+                buffer.pending_for(home_id) >= cfg.flush_max_pending
+                or buffer.oldest_age(home_id, now) >= cfg.flush_age_s
+            ):
+                report.merge(self._flush_home(home_id, now, final=False))
+        return report
+
+    def flush_barrier(self, now: float = 0.0) -> FlushReport:
+        """Flush **everything**; what cannot be acked is declared lost.
+
+        The explicit end-of-run (and test harness) synchronization
+        point: after it returns, every buffered mutation has either been
+        acknowledged by its home MDS, surfaced as a version-race
+        conflict, or is listed in ``report.lost`` (and
+        ``self.lost_mutations``) — nothing stays silently parked.
+        """
+        report = FlushReport()
+        buffer = self.writeback
+        if buffer is None:
+            return report
+        self._wb["barriers"].inc()
+        for home_id in buffer.homes():
+            report.merge(self._flush_home(home_id, now, final=True))
+        return report
+
+    def _flush_home(
+        self, home_id: int, now: float, final: bool
+    ) -> FlushReport:
+        buffer = self.writeback
+        assert buffer is not None
+        batch = buffer.drain_home(home_id)
+        return self._flush_mutations(home_id, batch, now, final)
+
+    def _flush_mutations(
+        self,
+        home_id: int,
+        batch: List[PendingMutation],
+        now: float,
+        final: bool,
+    ) -> FlushReport:
+        report = FlushReport()
+        if not batch:
+            return report
+        buffer = self.writeback
+        assert buffer is not None
+        report.batches += 1
+        payload = [m.as_path_mutation() for m in batch]
+        result = None
+        for _ in range(self.config.flush_retry_limit):
+            report.attempts += 1
+            self.backend_mutations += 1
+            self._backend.labels("mutate_batch").inc()
+            self._wb["flush_batches"].inc()
+            attempt = self.cluster.apply_mutation_batch(
+                home_id,
+                payload,
+                origin=self.config.writeback_origin,
+                acked_version=buffer.ack_floor,
+            )
+            if not attempt.degraded:
+                result = attempt
+                break
+            self._wb["retries"].inc()
+        if result is None:
+            if final:
+                # Explicit loss: count, record, surface — and drop the
+                # leases so later reads refetch true (pre-mutation) state
+                # instead of serving the phantom write.
+                self._wb["lost"].inc(len(batch))
+                for mutation in batch:
+                    buffer.settle(mutation.version)
+                    self.lost_mutations.append(mutation)
+                    self.cache.invalidate(mutation.path, cause="writeback_lost")
+                    self._fire_ack(mutation, None)
+                report.lost.extend(batch)
+            else:
+                # Transient: re-park for a later trigger (the fault
+                # window may close); only a barrier declares loss.
+                self._wb["deferred"].inc(len(batch))
+                for mutation in batch:
+                    mutation.retries += 1
+                buffer.requeue(batch)
+                self._wb_backoff[home_id] = (
+                    now + self.config.flush_retry_backoff_s
+                )
+                report.deferred.extend(batch)
+            return report
+        self._wb_backoff.pop(home_id, None)
+        outcomes = {o.version: o for o in result.outcomes}
+        for mutation in batch:
+            outcome = outcomes.get(mutation.version)
+            if outcome is None:
+                # The home never saw this version (should not happen with
+                # an intact reply); treat as deferred/lost conservatively.
+                if final:
+                    self._wb["lost"].inc()
+                    buffer.settle(mutation.version)
+                    self.lost_mutations.append(mutation)
+                    self.cache.invalidate(mutation.path, cause="writeback_lost")
+                    self._fire_ack(mutation, None)
+                    report.lost.append(mutation)
+                else:
+                    self._wb["deferred"].inc()
+                    buffer.requeue([mutation])
+                    report.deferred.append(mutation)
+                continue
+            buffer.settle(mutation.version)
+            if outcome.applied:
+                self._wb["flushed"].labels(mutation.op).inc()
+                if mutation.op == "create":
+                    self.cache.put(
+                        mutation.path,
+                        home_id,
+                        mutation.record,
+                        now,
+                        backend_version=outcome.new_version,
+                    )
+                else:
+                    self.cache.put_negative(
+                        mutation.path,
+                        now,
+                        backend_version=outcome.new_version,
+                    )
+                report.acked.append(mutation)
+            else:  # version race lost: re-read, never clobber
+                self._wb["conflicts"].inc()
+                self.cache.invalidate(
+                    mutation.path, cause="writeback_conflict"
+                )
+                self._reread_after_conflict(mutation.path, now)
+                report.conflicts.append(mutation)
+            self._fire_ack(mutation, outcome)
+        return report
+
+    def _reread_after_conflict(self, path: str, now: float) -> None:
+        """Refetch the race winner's state and install a fresh lease."""
+        result = self.cluster.query(path)
+        self.backend_mutations += 1
+        self._backend.labels("writeback_reread").inc()
+        self._wb["rereads"].inc()
+        if result.degraded:
+            self._uncacheable.inc()
+            return
+        version = self.cluster.path_version(path)
+        if result.home_id is not None:
+            record = self.cluster.servers[result.home_id].store.get(path)
+            self.cache.put(
+                path, result.home_id, record, now, backend_version=version
+            )
+        else:
+            self.cache.put_negative(path, now, backend_version=version)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -44,12 +44,18 @@ from __future__ import annotations
 
 import heapq
 import queue
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.cluster import GHBACluster, MutationEvent
+from repro.core.cluster import GHBACluster, MutationEvent, MutationOutcome
 from repro.faults.injector import FaultInjector, NULL_INJECTOR
-from repro.gateway.client import GatewayConfig, GatewayResponse, MetadataClient
+from repro.gateway.client import (
+    GatewayConfig,
+    GatewayResponse,
+    MetadataClient,
+    Outcome,
+)
+from repro.gateway.writeback import FlushReport, PendingMutation
 from repro.metadata.attributes import FileMetadata
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -202,17 +208,35 @@ class CohortMember:
         self.transport = transport
         self.tracer = tracer
         self.mailbox = transport.register(member_id)
+        gateway_cfg = config.gateway
+        if gateway_cfg.writeback:
+            # Each member is its own at-most-once origin, with its own
+            # placement RNG stream.
+            gateway_cfg = replace(
+                gateway_cfg,
+                writeback_origin=member_id,
+                writeback_seed=gateway_cfg.writeback_seed + member_id,
+            )
         self.client = MetadataClient(
             cluster,
-            config.gateway,
+            gateway_cfg,
             tracer=tracer,
             metrics=metrics,
             register_mutation_hook=False,
         )
+        if gateway_cfg.writeback:
+            # Invalidation records for buffered mutations are minted at
+            # flush-ack, never at enqueue: until the home MDS applies a
+            # mutation, there is nothing for a peer to invalidate.
+            self.client.add_ack_listener(self._on_flush_ack)
+        self._clock = 0.0
         self._c = counters
         self._label = str(member_id)
-        # Publishing side
+        # Publishing side.  ``log_base`` counts records truncated off the
+        # front after every peer cumulatively acked them; ``log[i]`` holds
+        # the record with seq ``log_base + i + 1``.
         self.log: List[InvalidationRecord] = []
+        self.log_base = 0
         self.acked_seq: Dict[int, int] = {p: 0 for p in self.peers}
         self._last_heartbeat_sent = float("-inf")
         # Receiving side
@@ -234,11 +258,13 @@ class CohortMember:
     # Client pass-through (read path)
     # ------------------------------------------------------------------
     def lookup(self, path: str, now: float) -> GatewayResponse:
+        self._clock = now
         return self.client.lookup(path, now)
 
     def lookup_many(
         self, paths: Sequence[str], now: float
     ) -> List[GatewayResponse]:
+        self._clock = now
         return self.client.lookup_many(paths, now)
 
     # ------------------------------------------------------------------
@@ -247,16 +273,40 @@ class CohortMember:
     def create(
         self, path: str, now: float, home_id: Optional[int] = None
     ) -> GatewayResponse:
+        self._clock = now
         response = self.client.create(path, now, home_id=home_id)
-        self._publish("create", path, "", now)
+        if response.outcome is not Outcome.BUFFERED:
+            self._publish("create", path, "", now)
         return response
 
     def delete(self, path: str, now: float) -> GatewayResponse:
+        self._clock = now
         response = self.client.delete(path, now)
-        self._publish("delete", path, "", now)
+        if response.outcome is not Outcome.BUFFERED:
+            self._publish("delete", path, "", now)
         return response
 
+    def flush_barrier(self, now: float) -> FlushReport:
+        """Flush this member's write-back buffer (no-op when disabled)."""
+        self._clock = now
+        return self.client.flush_barrier(now)
+
+    def _on_flush_ack(
+        self, mutation: PendingMutation, outcome: Optional[MutationOutcome]
+    ) -> None:
+        """Mint the invalidation record once the home MDS applied it.
+
+        Lost mutations (``outcome is None``), version-race losers and
+        applied no-ops (a delete of an absent path) changed nothing on
+        the fleet, so there is nothing to invalidate — the race *winner*
+        was published by whichever member issued it.
+        """
+        if outcome is None or not outcome.applied or not outcome.changed:
+            return
+        self._publish(mutation.op, mutation.path, "", self._clock)
+
     def rename(self, old_prefix: str, new_prefix: str, now: float) -> int:
+        self._clock = now
         renamed = self.client.rename(old_prefix, new_prefix, now)
         # Without the cluster hook the *issuing* client's own subtree
         # leases survive the rename; apply the event locally before
@@ -272,7 +322,7 @@ class CohortMember:
     ) -> BroadcastResult:
         record = InvalidationRecord(
             origin=self.member_id,
-            seq=len(self.log) + 1,
+            seq=self.log_base + len(self.log) + 1,
             op=op,
             path=path,
             new_path=new_path,
@@ -323,7 +373,10 @@ class CohortMember:
     def tick(self, now: float) -> List[GatewayResponse]:
         """Drain messages, heartbeat, update suspicion; returns any
         admission-queue completions so the caller can audit them."""
+        self._clock = now
         self.drain(now)
+        if self.client.writeback is not None:
+            self.client.maybe_flush(now)
         self._maybe_heartbeat(now)
         self._update_suspicion(now)
         if self.client.admission.queue_depth:
@@ -371,18 +424,44 @@ class CohortMember:
                 mine = int(acked.get(self.member_id, 0))
                 if mine > self.acked_seq.get(sender, 0):
                     self.acked_seq[sender] = mine
+                    self._maybe_truncate()
         elif message.kind is MessageKind.COHORT_SYNC:
             since = int(payload["since"])
+            # Offset-aware suffix: ``base`` is where the reply actually
+            # starts.  A requester further behind than the truncation
+            # floor sees ``base > since`` and knows the gap records are
+            # unrecoverable.
+            start = max(since, self.log_base)
             self._send(
                 sender,
                 MessageKind.COHORT_SYNC_REPLY,
                 {
-                    "records": [r.as_payload() for r in self.log[since:]],
-                    "latest": len(self.log),
+                    "records": [
+                        r.as_payload()
+                        for r in self.log[start - self.log_base:]
+                    ],
+                    "latest": self.log_base + len(self.log),
+                    "base": start,
                 },
                 now,
             )
         elif message.kind is MessageKind.COHORT_SYNC_REPLY:
+            base = int(payload.get("base", 0))
+            if sender in self.applied_seq and base > self.applied_seq[sender]:
+                # The suffix we asked for was truncated away: the missing
+                # records are unrecoverable, so skip the gap and fall back
+                # to a full TTL re-clamp — every surviving lease expires
+                # within ``ttl_clamp_s``, which bounds whatever staleness
+                # the lost invalidations would have cured.
+                self._c["reclamp"].labels(self._label).inc()
+                self.applied_seq[sender] = base
+                self._pending[sender] = {
+                    seq: record
+                    for seq, record in self._pending[sender].items()
+                    if seq > base
+                }
+                self.gap_since[sender] = None
+                self.client.clamp_leases(self.config.ttl_clamp_s, now)
             for raw in payload["records"]:
                 record = InvalidationRecord.from_payload(raw)
                 if self._ingest(record, now):
@@ -440,11 +519,29 @@ class CohortMember:
             return
         self._last_heartbeat_sent = now
         payload = {
-            "latest": len(self.log),
+            "latest": self.log_base + len(self.log),
             "acked": dict(self.applied_seq),
         }
         for peer in self.peers:
             self._send(peer, MessageKind.COHORT_HEARTBEAT, payload, now)
+
+    def _maybe_truncate(self) -> None:
+        """Drop log records every peer has cumulatively acknowledged.
+
+        ``acked_seq`` only ever lags a peer's true applied sequence (it
+        is learned from heartbeats), so truncating to the minimum is
+        always safe for the *normal* protocol: any in-flight sync request
+        asks from at or above the floor.  A peer that somehow regressed
+        below it (reset state) hits the re-clamp fallback instead.
+        """
+        if not self.peers:
+            return
+        floor = min(self.acked_seq.values())
+        drop = floor - self.log_base
+        if drop > 0:
+            del self.log[:drop]
+            self.log_base = floor
+            self._c["log_truncated"].labels(self._label).inc(drop)
 
     def _update_suspicion(self, now: float) -> None:
         cfg = self.config
@@ -496,11 +593,11 @@ class CohortMember:
     # ------------------------------------------------------------------
     @property
     def published(self) -> int:
-        return len(self.log)
+        return self.log_base + len(self.log)
 
     def __repr__(self) -> str:
         return (
-            f"CohortMember(id={self.member_id}, published={len(self.log)}, "
+            f"CohortMember(id={self.member_id}, published={self.published}, "
             f"applied={dict(self.applied_seq)}, "
             f"suspected={sorted(self.suspected)}, clamped={self.clamped})"
         )
@@ -622,6 +719,18 @@ class GatewayCohort:
                 "TTL clamp releases after all peers recovered.",
                 labels=("gateway",),
             ),
+            "log_truncated": m.counter(
+                "gateway_cohort_log_truncated_total",
+                "Invalidation log records truncated after every peer's "
+                "cumulative ack covered them.",
+                labels=("gateway",),
+            ),
+            "reclamp": m.counter(
+                "gateway_cohort_reclamp_total",
+                "Full TTL re-clamps after a sync found its gap records "
+                "truncated (unrecoverable).",
+                labels=("gateway",),
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -666,6 +775,13 @@ class GatewayCohort:
             clock += cfg.heartbeat_interval_s
             self.step(clock)
         return clock
+
+    def flush_barrier(self, now: float) -> Dict[int, FlushReport]:
+        """Barrier every member's write-back buffer, in member order."""
+        return {
+            member.member_id: member.flush_barrier(now)
+            for member in self.members
+        }
 
     # ------------------------------------------------------------------
     # Introspection

@@ -529,6 +529,56 @@ class PrototypeCluster:
             "degraded": False,
         }
 
+    def apply_mutation_batch(
+        self,
+        node_id: int,
+        mutations: List[Dict[str, object]],
+        origin: int = 0,
+        acked_version: int = 0,
+        vtime: float = 0.0,
+    ) -> Dict[str, object]:
+        """Flush one write-back mutation batch to ``node_id`` over the wire.
+
+        Each mutation dict carries ``version``/``op``/``path`` (plus
+        ``record`` for creates); the node applies them **at most once**
+        per ``(origin, version)`` — the transport's retry policy may
+        duplicate the request, and the node's durable high-water mark
+        absorbs the replay.  On a timeout (crash, drop schedule beyond
+        the retry budget) ``degraded`` is True and *whether* the batch
+        applied is unknown — the caller retries the identical batch or
+        declares the loss at its flush barrier.
+        """
+        if node_id not in self.nodes and node_id not in self._crashed:
+            raise KeyError(f"unknown node {node_id}")
+        net = self.config.network
+        arrival = vtime + net.unicast_ms / 1000.0
+        message = Message(
+            kind=MessageKind.MUTATE_BATCH,
+            sender=CLIENT,
+            payload={
+                "origin": origin,
+                "acked": acked_version,
+                "mutations": list(mutations),
+            },
+            arrival_vtime=arrival,
+        )
+        try:
+            reply = self.transport.request(node_id, message)
+        except (TransportClosed, TimeoutError):
+            retry = self.transport.retry
+            penalty = retry.timeout_s * retry.max_attempts
+            return {
+                "outcomes": [],
+                "virtual_latency_ms": penalty * 1000.0,
+                "degraded": True,
+            }
+        finish = reply.payload["finish_vtime"] + net.unicast_ms / 1000.0
+        return {
+            "outcomes": reply.payload["outcomes"],
+            "virtual_latency_ms": (finish - vtime) * 1000.0,
+            "degraded": False,
+        }
+
     # ------------------------------------------------------------------
     # Node addition (Figure 15's measured operation)
     # ------------------------------------------------------------------

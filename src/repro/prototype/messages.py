@@ -19,6 +19,7 @@ class MessageKind(enum.Enum):
     PROBE_SEGMENT = "probe_segment"  # L2 probe (segment array + local filter)
     VERIFY = "verify"                # home-MDS verification (filter + store)
     VERIFY_BATCH = "verify_batch"    # multi-key verification (gateway batch)
+    MUTATE_BATCH = "mutate_batch"    # batched write-back mutation flush
     INSERT = "insert"                # become home for a metadata record
     HOST_REPLICA = "host_replica"    # start hosting a BF replica
     DROP_REPLICA = "drop_replica"    # stop hosting a BF replica

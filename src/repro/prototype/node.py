@@ -120,6 +120,7 @@ class MDSNode(threading.Thread):
             MessageKind.EXCHANGE_REPLICA: self._on_exchange_replica,
             MessageKind.VERIFY: self._on_verify,
             MessageKind.VERIFY_BATCH: self._on_verify_batch,
+            MessageKind.MUTATE_BATCH: self._on_mutate_batch,
             MessageKind.INSERT: self._on_insert,
             MessageKind.HOST_REPLICA: self._on_host_replica,
             MessageKind.DROP_REPLICA: self._on_drop_replica,
@@ -259,6 +260,85 @@ class MDSNode(threading.Thread):
             found[path] = meta is not None
         finish = self._serve(message.arrival_vtime, service_ms)
         return message.reply(found=found, finish_vtime=finish)
+
+    def _on_mutate_batch(self, message: Message) -> Message:
+        """Batched write-back mutation flush, applied **at most once**.
+
+        The transport's retry policy re-sends a request whose reply was
+        lost, so the node dedups on ``(origin, version)``.  Gateway
+        versions are globally sequenced but this node sees only a gappy
+        subsequence, so the test is **exact**: a version is a duplicate
+        iff it is at or below the origin's cumulative-ack floor (settled
+        client-side, never retried) or present in the outcome cache —
+        duplicates are acked again from the cache without re-touching
+        the store.  Both structures are durable (they ride
+        :func:`~repro.core.checkpoint.snapshot_server` with the store),
+        so a crash between apply and ack cannot lead the restored node
+        to double-apply the retry.  ``acked`` is the client's cumulative
+        ack; it advances the floor and prunes the cache beneath it.
+        """
+        origin = int(message.payload.get("origin", 0))
+        acked = int(message.payload.get("acked", 0))
+        mutations = message.payload["mutations"]
+        server = self.server
+        floor = max(server.writeback_floor.get(origin, 0), acked)
+        server.writeback_floor[origin] = floor
+        cache = server.writeback_outcomes.setdefault(origin, {})
+        if floor:
+            for version in [v for v in cache if v <= floor]:
+                del cache[version]
+        net = self.config.network
+        service_ms = 0.0
+        outcomes = []
+        for raw in mutations:
+            version = int(raw["version"])
+            op = str(raw["op"])
+            path = str(raw["path"])
+            service_ms += net.memory_probe_ms
+            cached = cache.get(version)
+            if cached is not None:
+                outcome = dict(cached)
+                outcome["deduped"] = True
+                outcomes.append(outcome)
+                continue
+            if version <= floor:
+                # Settled client-side; a stray re-delivery, acked as
+                # applied-without-detail.
+                outcomes.append(
+                    {
+                        "version": version,
+                        "op": op,
+                        "path": path,
+                        "applied": True,
+                        "changed": False,
+                        "deduped": True,
+                    }
+                )
+                continue
+            changed = False
+            if op == "create":
+                meta: FileMetadata = raw["record"]
+                server.insert_metadata(meta)
+                changed = True
+            elif op == "delete":
+                changed = server.remove_metadata(path)
+            else:
+                raise ValueError(f"unknown mutation op {op!r}")
+            if changed:
+                service_ms += self._verify_ms(True)
+                server.writeback_applied += 1
+            outcome = {
+                "version": version,
+                "op": op,
+                "path": path,
+                "applied": True,
+                "changed": changed,
+                "deduped": False,
+            }
+            cache[version] = dict(outcome)
+            outcomes.append(outcome)
+        finish = self._serve(message.arrival_vtime, service_ms)
+        return message.reply(outcomes=outcomes, finish_vtime=finish)
 
     def _on_insert(self, message: Message) -> Message:
         meta: FileMetadata = message.payload["meta"]

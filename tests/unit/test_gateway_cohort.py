@@ -275,3 +275,122 @@ class TestMissingExactlyOnceUnderDuplication:
             cohort.counter_snapshot()["gateway_cohort_applied_total"].values()
         )
         assert applied <= published * (cohort.size - 1)
+
+
+class TestWritebackFlushAckMinting:
+    """Invalidation records are minted at flush-ack, never at enqueue
+    (ISSUE 5): an unflushed mutation has not happened as far as the
+    fleet — and every peer — is concerned."""
+
+    def _writeback_cohort(self, paths):
+        return _cohort(
+            paths,
+            gateway=GatewayConfig(
+                lease_ttl_s=60.0,
+                writeback=True,
+                flush_max_pending=100,
+                flush_age_s=1e9,
+            ),
+        )
+
+    def test_buffered_create_publishes_nothing(self):
+        cohort = self._writeback_cohort(["/fs/a"])
+        left, right = cohort.members
+        assert not right.lookup("/fs/new", 0.0).found  # negative cached
+        left.create("/fs/new", 0.05)
+        cohort.step(0.1)
+        assert left.published == 0
+        # The peer's negative lease is untouched: nothing happened yet.
+        assert right.client.cache.peek("/fs/new").negative
+
+    def test_flush_ack_mints_and_invalidates_peer(self):
+        cohort = self._writeback_cohort(["/fs/a"])
+        left, right = cohort.members
+        assert not right.lookup("/fs/new", 0.0).found
+        left.create("/fs/new", 0.05)
+        cohort.flush_barrier(0.2)
+        assert left.published == 1
+        cohort.step(0.25)
+        assert right.lookup("/fs/new", 0.3).found
+
+    def test_lost_mutation_mints_nothing(self):
+        cohort = self._writeback_cohort(["/fs/a"])
+        left, _ = cohort.members
+        # Enqueue, then absorb with a delete: the pair annihilates in
+        # the buffer, the fleet never hears of it, nothing publishes.
+        left.create("/fs/ghost", 0.0)
+        left.delete("/fs/ghost", 0.1)
+        cohort.flush_barrier(0.2)
+        # The delete acked as an applied no-op (changed=False): no mint.
+        assert left.published == 0
+
+
+class TestLogTruncation:
+    """Cumulative-ack-driven truncation of the invalidation log (the PR 4
+    unbounded-log fix), and the two recovery paths a gap-recovering peer
+    can take afterwards."""
+
+    def _settled_cohort(self, publishes=5):
+        cohort = _cohort(["/fs/a"])
+        left, right = cohort.members
+        clock = 0.0
+        for i in range(publishes):
+            left.create(f"/fs/t{i}", clock)
+            clock += 0.06
+            cohort.step(clock)
+        # Extra heartbeat rounds so acks round-trip and truncation runs.
+        clock = cohort.settle(clock + 0.5)
+        return cohort, left, right, clock
+
+    def test_acked_records_truncate(self):
+        cohort, left, right, _ = self._settled_cohort()
+        assert left.published == 5
+        assert right.applied_seq[left.member_id] == 5
+        # Every record the peer acked is gone from memory; the offset
+        # remembers where the log now starts.
+        assert left.log_base == 5
+        assert left.log == []
+        assert _counter(cohort, "log_truncated", "0") == 5
+
+    def test_publishing_continues_after_truncation(self):
+        cohort, left, right, clock = self._settled_cohort()
+        left.create("/fs/after", clock)
+        assert left.log[-1].seq == left.published == 6
+        cohort.settle(clock + 0.5)
+        assert right.applied_seq[left.member_id] == 6
+
+    def test_sync_serves_offset_suffix_after_truncation(self):
+        """A peer whose gap starts at or above the truncation floor
+        recovers from the truncated log's suffix — no re-clamp."""
+        cohort, left, right, clock = self._settled_cohort()
+        # Two fresh records the peer has not heard yet (no step between).
+        left.create("/fs/s1", clock)
+        left.create("/fs/s2", clock)
+        assert left.log_base == 5 and len(left.log) == 2
+        right._note_gap(left.member_id, clock + 1.0)
+        cohort.settle(clock + 1.5)
+        assert _counter(cohort, "sync_requests", "1") == 1
+        assert right.applied_seq[left.member_id] == 7
+        # Recovery came record-by-record from the truncated suffix (the
+        # multicast copies dedupe against it), never via the re-clamp.
+        assert _counter(cohort, "reclamp", "1") == 0
+        assert _counter(cohort, "applied", "1", "create") == 7
+
+    def test_unrecoverable_gap_falls_back_to_reclamp(self):
+        """A peer asking for records below the truncation floor cannot
+        be caught up record-by-record: it skips the gap and clamps every
+        surviving lease instead."""
+        cohort, left, right, clock = self._settled_cohort()
+        # Simulate reset state: the peer regressed below the floor.
+        right.applied_seq[left.member_id] = 0
+        right.gap_since[left.member_id] = None
+        right.lookup("/fs/a", clock)  # a live lease the clamp must bound
+        right._note_gap(left.member_id, clock + 1.0)
+        end = cohort.settle(clock + 1.5)
+        assert _counter(cohort, "reclamp", "1") == 1
+        # The gap closed by jumping to the floor, not replaying records.
+        assert right.applied_seq[left.member_id] >= left.log_base
+        assert right.gap_since[left.member_id] is None
+        entry = right.client.cache.peek("/fs/a")
+        assert entry is not None
+        assert entry.expires_at <= end + cohort.config.ttl_clamp_s + 1e-9
