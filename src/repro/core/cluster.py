@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bloom.compressed import transfer_cost_report
 from repro.core.config import GHBAConfig
@@ -127,6 +127,8 @@ class PathMutation:
     is the backend path version the client last observed; ``None`` means
     the client held no lease and the apply is unconditional except for
     the structural checks (a create must not mint a second home).
+    ``trace`` is the optional ``(trace_id, parent_span_id, origin)``
+    causal context; arbitration spans at the home MDS attach to it.
     """
 
     version: int
@@ -134,6 +136,7 @@ class PathMutation:
     path: str
     record: Optional[FileMetadata] = None
     base_version: Optional[int] = None
+    trace: Optional[Tuple[int, int, int]] = None
 
 
 @dataclass(frozen=True)
@@ -944,6 +947,31 @@ class GHBACluster:
             latency += record_ms if outcome.changed else 0.0
             cache[mutation.version] = outcome
             result.outcomes.append(outcome)
+            if self.tracer.enabled and mutation.trace is not None:
+                trace_id, parent_id, trace_origin = mutation.trace
+                span = self.tracer.start_span(
+                    mutation.path,
+                    trace_origin,
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    component="mds",
+                    kind="wb_arbitrate",
+                )
+                span.event(
+                    "wb_arbitrate",
+                    target=server_id,
+                    op=mutation.op,
+                    applied=outcome.applied,
+                    conflict=outcome.conflict,
+                    changed=outcome.changed,
+                    new_version=outcome.new_version,
+                )
+                span.finish(
+                    "WB-APPLIED" if outcome.applied else "WB-CONFLICT",
+                    server_id,
+                    0.0,
+                    0,
+                )
         result.messages = 2
         result.latency_ms = latency
         self._messages.inc(2)

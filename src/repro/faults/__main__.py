@@ -58,12 +58,32 @@ def _cmd_soak(args) -> int:
         with_partition=not args.no_partition,
         max_attempts=args.max_attempts,
     )
-    report = run_soak(config)
+    tracer = None
+    flight = None
+    if args.trace_out:
+        from repro.obs.trace import CollectingTracer
+
+        tracer = CollectingTracer()
+    if args.flight_dir:
+        from repro.obs.flight import FlightRecorderHub
+
+        flight = FlightRecorderHub(dump_dir=args.flight_dir)
+    report = run_soak(config, tracer=tracer, flight=flight)
     print(report.render())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote report to {args.json}")
+    if tracer is not None:
+        from repro.obs.export import write_spans_jsonl
+
+        written = write_spans_jsonl(tracer.finished_spans(), args.trace_out)
+        print(f"wrote {written} spans to {args.trace_out}")
+    if flight is not None:
+        print(
+            f"flight recorder: {len(flight.dumps)} dump(s) in "
+            f"{args.flight_dir}"
+        )
     return 0 if report.passed else 1
 
 
@@ -94,6 +114,18 @@ def main(argv=None) -> int:
     soak.add_argument("--no-crash", action="store_true")
     soak.add_argument("--no-partition", action="store_true")
     soak.add_argument("--json", default=None, metavar="FILE.json")
+    soak.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE.jsonl",
+        help="record per-lookup spans (with causal context) as JSONL",
+    )
+    soak.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="write flight-recorder dumps here on every crash",
+    )
     soak.set_defaults(func=_cmd_soak)
 
     drill = subparsers.add_parser(

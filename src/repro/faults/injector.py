@@ -125,12 +125,16 @@ class PlanFaultInjector:
 
     enabled = True
 
-    def __init__(self, plan: FaultPlan, metrics=None) -> None:
+    def __init__(self, plan: FaultPlan, metrics=None, flight=None) -> None:
         self.plan = plan
         self._rng = make_rng(plan.seed)
         self._sim_rng = make_rng(plan.seed ^ 0x5EED)
         self._now = 0.0
         self._silenced: Set[int] = set()
+        #: Optional FlightRecorderHub: every silence() (a node crash or an
+        #: injected outage window) dumps the fleet's recent events, once
+        #: per outage — the idempotence guard below covers both.
+        self.flight = flight
         self.counts: Dict[str, int] = {
             "drop_request": 0,
             "drop_oneway": 0,
@@ -174,11 +178,20 @@ class PlanFaultInjector:
         if node_id not in self._silenced:
             self._silenced.add(node_id)
             self._count("silence", "crash")
+            if self.flight is not None:
+                self.flight.recorder("faults").record(
+                    "silence", self._now, node=node_id
+                )
+                self.flight.dump(f"crash-node-{node_id}", self._now)
 
     def restore(self, node_id: int) -> None:
         if node_id in self._silenced:
             self._silenced.discard(node_id)
             self._count("restore", "crash")
+            if self.flight is not None:
+                self.flight.recorder("faults").record(
+                    "restore", self._now, node=node_id
+                )
 
     def is_silenced(self, node_id: int) -> bool:
         return node_id in self._silenced

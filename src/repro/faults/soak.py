@@ -209,8 +209,15 @@ def build_plan(config: SoakConfig, groups: Dict[int, List[int]]) -> FaultPlan:
     )
 
 
-def run_soak(config: SoakConfig) -> SoakReport:
-    """Run one chaos soak; deterministic for a given ``config``."""
+def run_soak(config: SoakConfig, tracer=None, flight=None) -> SoakReport:
+    """Run one chaos soak; deterministic for a given ``config``.
+
+    ``tracer`` (a :class:`~repro.obs.trace.CollectingTracer`) records one
+    span per lookup with the causal context threaded onto every protocol
+    message; ``flight`` (a :class:`~repro.obs.flight.FlightRecorderHub`)
+    is dumped automatically at each crash.  Both default off and leave
+    the report bit-identical.
+    """
     # Imported here: the faults package must stay importable from the
     # transport layer without dragging the cluster modules in circularly.
     from repro.core.config import GHBAConfig
@@ -219,7 +226,12 @@ def run_soak(config: SoakConfig) -> SoakReport:
     ghba_config = GHBAConfig(seed=config.seed)
     retry = RetryPolicy(max_attempts=config.max_attempts)
     cluster = PrototypeCluster(
-        config.num_nodes, ghba_config, seed=config.seed, retry=retry
+        config.num_nodes,
+        ghba_config,
+        seed=config.seed,
+        tracer=tracer,
+        retry=retry,
+        flight=flight,
     )
     report = SoakReport(config=config)
     try:
@@ -228,7 +240,9 @@ def run_soak(config: SoakConfig) -> SoakReport:
         paths = [f"/soak/f{i:05d}" for i in range(config.num_files)]
         ground_truth = cluster.populate(paths, policy="random")
         plan = build_plan(config, cluster.groups)
-        injector = PlanFaultInjector(plan, metrics=cluster.metrics)
+        injector = PlanFaultInjector(
+            plan, metrics=cluster.metrics, flight=flight
+        )
         cluster.transport.injector = injector
 
         events: List[Tuple[float, str, int]] = []

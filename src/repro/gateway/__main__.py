@@ -73,6 +73,63 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _obs_from_args(args):
+    """(tracer, flight) from ``--trace-out`` / ``--flight-dir``."""
+    tracer = None
+    flight = None
+    if getattr(args, "trace_out", None):
+        from repro.obs.trace import CollectingTracer
+
+        tracer = CollectingTracer()
+    if getattr(args, "flight_dir", None):
+        from repro.obs.flight import FlightRecorderHub
+
+        flight = FlightRecorderHub(dump_dir=args.flight_dir)
+    return tracer, flight
+
+
+def _finish_obs(args, tracer, flight) -> None:
+    """Write the span JSONL and summarize flight dumps after a bench."""
+    if tracer is not None:
+        from repro.obs.export import write_spans_jsonl
+
+        written = write_spans_jsonl(tracer.finished_spans(), args.trace_out)
+        print(f"wrote {written} spans to {args.trace_out}")
+    if flight is not None:
+        print(
+            f"flight recorder: {len(flight.dumps)} dump(s) in "
+            f"{args.flight_dir}"
+        )
+
+
+def _run_metadata(duration_s: float) -> Dict[str, object]:
+    """Provenance stamped into CLI-written ``BENCH_*.json`` artifacts
+    (same shape as ``benchmarks/_bench_json.run_metadata``, which lives
+    outside the installed package)."""
+    import platform
+    import subprocess
+    import time
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        git_rev = proc.stdout.strip() if proc.returncode == 0 else ""
+    except (OSError, subprocess.SubprocessError):
+        git_rev = ""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "git_rev": git_rev,
+        "run_duration_s": round(duration_s, 3),
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
 def _percentile(values: List[float], p: float) -> float:
     if not values:
         return 0.0
@@ -81,7 +138,7 @@ def _percentile(values: List[float], p: float) -> float:
     return ordered[index]
 
 
-def _build_cluster(args, faulted: bool) -> GHBACluster:
+def _build_cluster(args, faulted: bool, tracer=None) -> GHBACluster:
     config = GHBAConfig(
         max_group_size=args.group_size,
         expected_files_per_mds=max(256, args.files * 3 // args.servers),
@@ -104,10 +161,12 @@ def _build_cluster(args, faulted: bool) -> GHBACluster:
             ),
         )
         faults = PlanFaultInjector(plan)
-    return GHBACluster(args.servers, config, seed=args.seed, faults=faults)
+    return GHBACluster(
+        args.servers, config, seed=args.seed, tracer=tracer, faults=faults
+    )
 
 
-def run_bench(args) -> Dict[str, object]:
+def run_bench(args, tracer=None, flight=None) -> Dict[str, object]:
     """Replay the workload through gateway + direct mirror; return stats."""
     profile = PROFILES[args.profile]
     generator = SyntheticTraceGenerator(
@@ -115,7 +174,7 @@ def run_bench(args) -> Dict[str, object]:
     )
     records = list(generator.generate(args.ops))
 
-    gateway_cluster = _build_cluster(args, faulted=True)
+    gateway_cluster = _build_cluster(args, faulted=True, tracer=tracer)
     direct_cluster = _build_cluster(args, faulted=False)
     for cluster in (gateway_cluster, direct_cluster):
         cluster.populate(generator.paths)
@@ -130,6 +189,8 @@ def run_bench(args) -> Dict[str, object]:
             burst=max(args.clients * 4.0, 64.0),
             hot_threshold=args.hot_threshold,
         ),
+        tracer=tracer,
+        flight=flight,
     )
 
     latencies: List[float] = []
@@ -316,6 +377,8 @@ def _replay_mutation_trace(
     writeback: bool,
     windows: List[Tuple[float, float, int]],
     placements: Dict[int, int],
+    tracer=None,
+    flight=None,
 ) -> Dict[str, object]:
     """One mode's replay: full trace through a gateway, oracle alongside.
 
@@ -334,8 +397,12 @@ def _replay_mutation_trace(
         seed=args.seed,
     )
     plan = FaultPlan(seed=args.seed, drop_rate=0.02 if args.chaos else 0.0)
-    injector = PlanFaultInjector(plan)
-    cluster = GHBACluster(args.servers, config, seed=args.seed, faults=injector)
+    injector = PlanFaultInjector(plan, flight=flight)
+    # The fleet shares the tracer so MDS-side arbitration spans
+    # (wb_arbitrate) land in the same causal trees as the gateway hops.
+    cluster = GHBACluster(
+        args.servers, config, seed=args.seed, tracer=tracer, faults=injector
+    )
     cluster.populate(population)
     cluster.synchronize_replicas(force=True)
     client = MetadataClient(
@@ -351,6 +418,8 @@ def _replay_mutation_trace(
             flush_age_s=args.flush_age_s,
             writeback_seed=args.seed,
         ),
+        tracer=tracer,
+        flight=flight,
     )
 
     oracle: Set[str] = set(population)
@@ -450,7 +519,7 @@ def _replay_mutation_trace(
     }
 
 
-def run_writeback_bench(args) -> Dict[str, object]:
+def run_writeback_bench(args, tracer=None, flight=None) -> Dict[str, object]:
     """Write-through vs write-back on one trace: RPCs, latency, losses.
 
     Both replays see the identical op stream, MDS fleet, crash windows
@@ -475,8 +544,17 @@ def run_writeback_bench(args) -> Dict[str, object]:
     through = _replay_mutation_trace(
         args, records, generator.paths, False, windows, placements
     )
+    # Observability rides on the mode under study only: the write-through
+    # baseline stays plain so its replay is untouched by --trace-out.
     back = _replay_mutation_trace(
-        args, records, generator.paths, True, windows, placements
+        args,
+        records,
+        generator.paths,
+        True,
+        windows,
+        placements,
+        tracer=tracer,
+        flight=flight,
     )
     cross_mode = len(through.pop("fleet") ^ back.pop("fleet"))  # type: ignore[arg-type]
     wb_rpcs = back["mutation_rpcs"]
@@ -534,7 +612,11 @@ def render_writeback_bench(stats: Dict[str, object]) -> str:
 
 
 def _cmd_writeback_bench(args) -> int:
-    stats = run_writeback_bench(args)
+    import time
+
+    started = time.time()
+    tracer, flight = _obs_from_args(args)
+    stats = run_writeback_bench(args, tracer=tracer, flight=flight)
     print(render_writeback_bench(stats))
     if args.json is None:
         args.json = "BENCH_writeback.json"
@@ -542,7 +624,13 @@ def _cmd_writeback_bench(args) -> int:
     # so the CLI and pytest emit interchangeable artifacts.
     with open(args.json, "w", encoding="utf-8") as handle:
         json.dump(
-            {"gateway_writeback": stats}, handle, indent=2, sort_keys=True
+            {
+                "gateway_writeback": stats,
+                "_meta": _run_metadata(time.time() - started),
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
         )
         handle.write("\n")
     print(f"\nwrote bench stats to {args.json}")
@@ -568,6 +656,11 @@ def _cmd_writeback_bench(args) -> int:
             f"{stats['mode_namespace_divergence']} cross-mode namespace "
             "divergences"
         )
+    if failures and flight is not None:
+        # A red gate ships its forensics: the flight rings hold the
+        # enqueue/flush/conflict events leading up to the divergence.
+        flight.dump("writeback-gate-failure")
+    _finish_obs(args, tracer, flight)
     if failures:
         print("FAILED: " + "; ".join(failures))
         return 1
@@ -598,7 +691,7 @@ def _cohort_fault_plan(seed: int, size: int, duration_s: float) -> FaultPlan:
     )
 
 
-def run_cohort_bench(args) -> Dict[str, object]:
+def run_cohort_bench(args, tracer=None, flight=None) -> Dict[str, object]:
     """Cohort-with-multicast vs N independent gateways on one trace.
 
     Both deployments promise the same staleness bound; the cohort keeps
@@ -638,16 +731,22 @@ def run_cohort_bench(args) -> Dict[str, object]:
     plan = _cohort_fault_plan(args.seed, size, duration)
 
     # ---- cohort replay ------------------------------------------------
-    cohort_cluster = _build_cluster(args, faulted=False)
+    cohort_cluster = _build_cluster(args, faulted=False, tracer=tracer)
     cohort_cluster.populate(generator.paths)
     cohort_cluster.synchronize_replicas(force=True)
     cohort = GatewayCohort(
         cohort_cluster,
         size,
         cohort_config,
-        faults=PlanFaultInjector(plan, metrics=cohort_cluster.metrics),
+        tracer=tracer,
+        faults=PlanFaultInjector(
+            plan, metrics=cohort_cluster.metrics, flight=flight
+        ),
+        flight=flight,
     )
-    auditor = StalenessAuditor(cohort_cluster, bound)
+    auditor = StalenessAuditor(
+        cohort_cluster, bound, metrics=cohort_cluster.metrics, flight=flight
+    )
     # Pinned placements so the independent mirror replays identically.
     created_homes: Dict[int, int] = {}
     step_s = cohort_config.heartbeat_interval_s / 2.0
@@ -810,9 +909,15 @@ def render_cohort_bench(stats: Dict[str, object]) -> str:
 
 
 def _cmd_cohort_bench(args) -> int:
-    stats = run_cohort_bench(args)
+    import time
+
+    started = time.time()
+    tracer, flight = _obs_from_args(args)
+    stats = run_cohort_bench(args, tracer=tracer, flight=flight)
     print(render_cohort_bench(stats))
     if args.json:
+        stats = dict(stats)
+        stats["_meta"] = _run_metadata(time.time() - started)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(stats, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -827,6 +932,9 @@ def _cmd_cohort_bench(args) -> int:
             f"{stats['independent_violations']} baseline staleness-bound "
             "violations"
         )
+    if failures and flight is not None:
+        flight.dump("cohort-gate-failure")
+    _finish_obs(args, tracer, flight)
     if failures:
         print("FAILED: " + "; ".join(failures))
         return 1
@@ -885,7 +993,8 @@ def _cmd_bench(args) -> int:
         return _cmd_cohort_bench(args)
     if args.writeback:
         return _cmd_writeback_bench(args)
-    stats = run_bench(args)
+    tracer, flight = _obs_from_args(args)
+    stats = run_bench(args, tracer=tracer, flight=flight)
     print(render_bench(stats, top=args.top))
     failures = []
     if stats["stale_reads"]:
@@ -900,6 +1009,9 @@ def _cmd_bench(args) -> int:
             json.dump(stats, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\nwrote bench stats to {args.json}")
+    if failures and flight is not None:
+        flight.dump("gateway-gate-failure")
+    _finish_obs(args, tracer, flight)
     if failures:
         print("FAILED: " + "; ".join(failures))
         return 1
@@ -982,6 +1094,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--chaos-start-s", type=float, default=0.5)
     bench.add_argument("--chaos-window-s", type=float, default=1.0)
     bench.add_argument("--json", default=None, metavar="FILE.json")
+    bench.add_argument(
+        "--trace-out", default=None, metavar="FILE.jsonl",
+        help="record spans (with causal write-back context) as JSONL",
+    )
+    bench.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder dumps here on crash windows and "
+        "bench gate failures",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)

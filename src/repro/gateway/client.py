@@ -47,8 +47,9 @@ from repro.gateway.writeback import (
     PendingMutation,
 )
 from repro.metadata.attributes import FileMetadata
+from repro.obs.flight import NULL_RECORDER, FlightRecorderHub
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 
 class Outcome(enum.Enum):
@@ -201,11 +202,17 @@ class MetadataClient:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         register_mutation_hook: bool = True,
+        flight: Optional[FlightRecorderHub] = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or GatewayConfig()
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else cluster.metrics
+        self._flight = (
+            flight.recorder(f"gateway-{self.config.writeback_origin}")
+            if flight is not None
+            else NULL_RECORDER
+        )
         cfg = self.config
         self.cache = GatewayCache(
             capacity=cfg.cache_capacity,
@@ -254,8 +261,14 @@ class MetadataClient:
         m = self.metrics
         self._requests = m.counter(
             "gateway_requests_total",
-            "Requests submitted to the gateway, by operation.",
-            labels=("op",),
+            "Requests submitted to the gateway, by operation and tenant.",
+            labels=("op", "tenant"),
+        )
+        self._lookup_latency = m.histogram(
+            "gateway_lookup_latency_ms",
+            "End-to-end latency of answered gateway lookups, by tenant.",
+            labels=("tenant",),
+            buckets=(0.01, 0.1, 1.0, 10.0, 100.0),
         )
         self._cache_hits = m.counter(
             "gateway_cache_hits_total",
@@ -320,8 +333,8 @@ class MetadataClient:
             ),
             "flushed": m.counter(
                 "gateway_writeback_flushed_total",
-                "Mutations acknowledged by their home MDS, by op.",
-                labels=("op",),
+                "Mutations acknowledged by their home MDS, by op and home.",
+                labels=("op", "home"),
             ),
             "conflicts": m.counter(
                 "gateway_writeback_conflict_total",
@@ -407,9 +420,11 @@ class MetadataClient:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
-    def lookup(self, path: str, now: float = 0.0) -> GatewayResponse:
+    def lookup(
+        self, path: str, now: float = 0.0, tenant: str = "-"
+    ) -> GatewayResponse:
         """Resolve one path (a tick of size one); REJECTED when shed."""
-        responses = self.lookup_many([path], now)
+        responses = self.lookup_many([path], now, tenant=tenant)
         for response in responses:
             if response.path == path:
                 return response
@@ -418,19 +433,20 @@ class MetadataClient:
         return GatewayResponse(path=path, outcome=Outcome.QUEUED)
 
     def lookup_many(
-        self, paths: Sequence[str], now: float = 0.0
+        self, paths: Sequence[str], now: float = 0.0, tenant: str = "-"
     ) -> List[GatewayResponse]:
         """Resolve a tick of concurrent lookups through the full pipeline.
 
         Returns completions for this tick: freshly admitted requests,
         queue drains whose token arrived, and explicit REJECTED responses
         for everything shed.  Queued requests are absent from the return
-        and complete on a later tick.
+        and complete on a later tick.  ``tenant`` only dimensions the
+        request/latency metric families; it never affects routing.
         """
         if self.writeback is not None:
             self.maybe_flush(now)
-        for _ in paths:
-            self._requests.labels("lookup").inc()
+        if paths:
+            self._requests.labels("lookup", tenant).inc(len(paths))
         stats = self.admission.stats
         before = (stats.shed_full, stats.shed_deadline, stats.queued)
         admitted, shed = self.admission.submit_many(list(paths), now)
@@ -438,6 +454,10 @@ class MetadataClient:
         if not admitted:
             return responses
         responses.extend(self._serve_tick(admitted, now))
+        latency = self._lookup_latency.labels(tenant)
+        for response in responses:
+            if response.outcome not in (Outcome.QUEUED, Outcome.REJECTED):
+                latency.observe(response.latency_ms)
         return responses
 
     def _account_shed(
@@ -610,7 +630,9 @@ class MetadataClient:
         if self.tracer.enabled:
             for path in flight.leaders:
                 response = answered[path]
-                span = self.tracer.start_span(path, -1)
+                span = self.tracer.start_span(
+                    path, -1, component="gateway", kind="lookup"
+                )
                 local = response.from_cache or response.from_overlay
                 span.event(
                     "gw_cache",
@@ -656,7 +678,11 @@ class MetadataClient:
     # Mutations (write path)
     # ------------------------------------------------------------------
     def create(
-        self, path: str, now: float = 0.0, home_id: Optional[int] = None
+        self,
+        path: str,
+        now: float = 0.0,
+        home_id: Optional[int] = None,
+        tenant: str = "-",
     ) -> GatewayResponse:
         """Create ``path``.
 
@@ -665,7 +691,7 @@ class MetadataClient:
         (``BUFFERED``) with a versioned final-state record; the flush
         engine applies it in a batched ``MUTATE_BATCH`` later.
         """
-        self._requests.labels("create").inc()
+        self._requests.labels("create", tenant).inc()
         if self.writeback is not None:
             return self._buffer_create(path, now, home_id)
         inode = sum(s.file_count for s in self.cluster.servers.values())
@@ -691,9 +717,11 @@ class MetadataClient:
             latency_ms=self.cluster.config.network.round_trip_ms(),
         )
 
-    def delete(self, path: str, now: float = 0.0) -> GatewayResponse:
+    def delete(
+        self, path: str, now: float = 0.0, tenant: str = "-"
+    ) -> GatewayResponse:
         """Delete ``path``; a negative lease remembers the absence."""
-        self._requests.labels("delete").inc()
+        self._requests.labels("delete", tenant).inc()
         if self.writeback is not None:
             return self._buffer_delete(path, now)
         home = self.cluster.delete_file(path)
@@ -711,7 +739,11 @@ class MetadataClient:
         )
 
     def rename(
-        self, old_prefix: str, new_prefix: str, now: float = 0.0
+        self,
+        old_prefix: str,
+        new_prefix: str,
+        now: float = 0.0,
+        tenant: str = "-",
     ) -> int:
         """Rename a subtree; the mutation hook invalidates both prefixes.
 
@@ -723,7 +755,7 @@ class MetadataClient:
         declared lost (counted and recorded), never silently dropped —
         its path is about to change, so re-parking it is not sound.
         """
-        self._requests.labels("rename").inc()
+        self._requests.labels("rename", tenant).inc()
         if self.writeback is not None:
             affected = set(self.writeback.paths_under(old_prefix))
             affected.update(self.writeback.paths_under(new_prefix))
@@ -782,7 +814,7 @@ class MetadataClient:
             if entry is not None:
                 base_version = entry.backend_version
         record = FileMetadata(path=path, inode=self._next_inode())
-        buffer.enqueue(
+        mutation = buffer.enqueue(
             "create",
             path,
             home_id,
@@ -791,6 +823,7 @@ class MetadataClient:
             base_version=base_version,
         )
         self._wb["enqueued"].labels("create").inc()
+        self._note_enqueue(mutation, now)
         self._mirror_absorbed()
         self.maybe_flush(now)
         pending_after = buffer.get(path)
@@ -867,10 +900,11 @@ class MetadataClient:
                         outcome=Outcome.NEGATIVE_HIT,
                         latency_ms=latency_ms,
                     )
-        buffer.enqueue(
+        mutation = buffer.enqueue(
             "delete", path, home_id, now, base_version=base_version
         )
         self._wb["enqueued"].labels("delete").inc()
+        self._note_enqueue(mutation, now)
         self._mirror_absorbed()
         self.maybe_flush(now)
         return GatewayResponse(
@@ -879,6 +913,41 @@ class MetadataClient:
             latency_ms=latency_ms,
             from_overlay=True,
         )
+
+    def _note_enqueue(self, mutation: PendingMutation, now: float) -> None:
+        """Trace/flight bookkeeping for one buffered mutation.
+
+        Mints the root span of the mutation's causal trace (client
+        enqueue) and stamps its context on the pending record, so the
+        flush, arbitration and invalidation hops downstream all attach
+        to the same tree.  No-op (and allocation-free) when tracing and
+        the flight recorder are both disabled.
+        """
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                mutation.path,
+                self.config.writeback_origin,
+                component="gateway",
+                kind="wb_enqueue",
+            )
+            span.event(
+                "wb_enqueue",
+                target=mutation.home_id,
+                op=mutation.op,
+                version=mutation.version,
+                absorbed=mutation.absorbed,
+            )
+            span.finish("WB-ENQUEUE", mutation.home_id, 0.0, 0)
+            mutation.trace = span.context(self.config.writeback_origin)
+        if self._flight.enabled:
+            self._flight.record(
+                "wb_enqueue",
+                now,
+                op=mutation.op,
+                path=mutation.path,
+                home=mutation.home_id,
+                version=mutation.version,
+            )
 
     def _resolve_for_delete(
         self, path: str, now: float
@@ -980,7 +1049,30 @@ class MetadataClient:
         buffer = self.writeback
         assert buffer is not None
         report.batches += 1
-        payload = [m.as_path_mutation() for m in batch]
+        flush_spans: Dict[int, Span] = {}
+        if self.tracer.enabled:
+            # One flush span per mutation, parented on the enqueue span
+            # (or the previous flush attempt).  The mutation's context is
+            # re-pointed at the flush span before the payload is built,
+            # so the MDS arbitration span and the invalidation mint both
+            # land *under* the flush hop in the assembled tree.
+            origin = self.config.writeback_origin
+            payload = []
+            for m in batch:
+                ctx = m.trace
+                span = self.tracer.start_span(
+                    m.path,
+                    origin,
+                    trace_id=None if ctx is None else ctx[0],
+                    parent_id=None if ctx is None else ctx[1],
+                    component="gateway",
+                    kind="wb_flush",
+                )
+                flush_spans[m.version] = span
+                m.trace = span.context(origin)
+                payload.append(m.as_path_mutation())
+        else:
+            payload = [m.as_path_mutation() for m in batch]
         result = None
         for _ in range(self.config.flush_retry_limit):
             report.attempts += 1
@@ -998,6 +1090,14 @@ class MetadataClient:
                 break
             self._wb["retries"].inc()
         if result is None:
+            if self._flight.enabled:
+                self._flight.record(
+                    "wb_flush_unreachable",
+                    now,
+                    home=home_id,
+                    count=len(batch),
+                    final=final,
+                )
             if final:
                 # Explicit loss: count, record, surface — and drop the
                 # leases so later reads refetch true (pre-mutation) state
@@ -1007,6 +1107,9 @@ class MetadataClient:
                     buffer.settle(mutation.version)
                     self.lost_mutations.append(mutation)
                     self.cache.invalidate(mutation.path, cause="writeback_lost")
+                    self._finish_flush_span(
+                        flush_spans, mutation, home_id, "WB-LOST"
+                    )
                     self._fire_ack(mutation, None)
                 report.lost.extend(batch)
             else:
@@ -1015,6 +1118,9 @@ class MetadataClient:
                 self._wb["deferred"].inc(len(batch))
                 for mutation in batch:
                     mutation.retries += 1
+                    self._finish_flush_span(
+                        flush_spans, mutation, home_id, "WB-DEFERRED"
+                    )
                 buffer.requeue(batch)
                 self._wb_backoff[home_id] = (
                     now + self.config.flush_retry_backoff_s
@@ -1033,16 +1139,39 @@ class MetadataClient:
                     buffer.settle(mutation.version)
                     self.lost_mutations.append(mutation)
                     self.cache.invalidate(mutation.path, cause="writeback_lost")
+                    self._finish_flush_span(
+                        flush_spans, mutation, home_id, "WB-LOST"
+                    )
                     self._fire_ack(mutation, None)
                     report.lost.append(mutation)
                 else:
                     self._wb["deferred"].inc()
+                    self._finish_flush_span(
+                        flush_spans, mutation, home_id, "WB-DEFERRED"
+                    )
                     buffer.requeue([mutation])
                     report.deferred.append(mutation)
                 continue
             buffer.settle(mutation.version)
+            if flush_spans:
+                span = flush_spans.get(mutation.version)
+                if span is not None:
+                    span.event(
+                        "wb_ack",
+                        target=home_id,
+                        applied=outcome.applied,
+                        conflict=outcome.conflict,
+                        deduped=outcome.deduped,
+                        new_version=outcome.new_version,
+                    )
+                    span.finish(
+                        "WB-ACKED" if outcome.applied else "WB-CONFLICT",
+                        home_id,
+                        0.0,
+                        2,
+                    )
             if outcome.applied:
-                self._wb["flushed"].labels(mutation.op).inc()
+                self._wb["flushed"].labels(mutation.op, home_id).inc()
                 if mutation.op == "create":
                     self.cache.put(
                         mutation.path,
@@ -1060,6 +1189,15 @@ class MetadataClient:
                 report.acked.append(mutation)
             else:  # version race lost: re-read, never clobber
                 self._wb["conflicts"].inc()
+                if self._flight.enabled:
+                    self._flight.record(
+                        "wb_conflict",
+                        now,
+                        path=mutation.path,
+                        home=home_id,
+                        version=mutation.version,
+                        winner_version=outcome.new_version,
+                    )
                 self.cache.invalidate(
                     mutation.path, cause="writeback_conflict"
                 )
@@ -1067,6 +1205,26 @@ class MetadataClient:
                 report.conflicts.append(mutation)
             self._fire_ack(mutation, outcome)
         return report
+
+    @staticmethod
+    def _finish_flush_span(
+        flush_spans: Dict[int, Span],
+        mutation: PendingMutation,
+        home_id: int,
+        level: str,
+    ) -> None:
+        """Seal one flush span on the non-acked exits (lost/deferred)."""
+        if not flush_spans:
+            return
+        span = flush_spans.get(mutation.version)
+        if span is not None:
+            span.event(
+                "wb_flush_exit",
+                target=home_id,
+                op=mutation.op,
+                retries=mutation.retries,
+            )
+            span.finish(level, home_id, 0.0, 1)
 
     def _reread_after_conflict(self, path: str, now: float) -> None:
         """Refetch the race winner's state and install a fresh lease."""

@@ -57,6 +57,7 @@ from repro.gateway.client import (
 )
 from repro.gateway.writeback import FlushReport, PendingMutation
 from repro.metadata.attributes import FileMetadata
+from repro.obs.flight import NULL_RECORDER, FlightRecorderHub
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.prototype.messages import Message, MessageKind
@@ -70,7 +71,9 @@ class InvalidationRecord:
     ``origin``/``seq`` form the per-gateway version: ``seq`` is contiguous
     per origin, which is what makes loss *detectable*.  ``epoch`` is the
     mutation's virtual time — any lease installed before it is suspect.
-    For renames ``path``/``new_path`` are subtree prefixes.
+    For renames ``path``/``new_path`` are subtree prefixes.  ``trace``
+    carries the mutation's causal context across the multicast (None
+    whenever tracing is disabled) so peer-side applies join the tree.
     """
 
     origin: int
@@ -79,9 +82,10 @@ class InvalidationRecord:
     path: str
     new_path: str = ""
     epoch: float = 0.0
+    trace: Optional[Tuple[int, int, int]] = None
 
     def as_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "origin": self.origin,
             "seq": self.seq,
             "op": self.op,
@@ -89,9 +93,13 @@ class InvalidationRecord:
             "new_path": self.new_path,
             "epoch": self.epoch,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "InvalidationRecord":
+        trace = payload.get("trace")
         return cls(
             origin=int(payload["origin"]),  # type: ignore[arg-type]
             seq=int(payload["seq"]),  # type: ignore[arg-type]
@@ -99,6 +107,7 @@ class InvalidationRecord:
             path=str(payload["path"]),
             new_path=str(payload.get("new_path", "")),
             epoch=float(payload.get("epoch", 0.0)),  # type: ignore[arg-type]
+            trace=None if trace is None else tuple(trace),  # type: ignore[arg-type]
         )
 
     def to_event(self) -> MutationEvent:
@@ -201,12 +210,18 @@ class CohortMember:
         metrics: MetricsRegistry,
         tracer: Tracer,
         counters: Dict[str, object],
+        flight: Optional[FlightRecorderHub] = None,
     ) -> None:
         self.member_id = member_id
         self.peers: Tuple[int, ...] = tuple(sorted(peers))
         self.config = config
         self.transport = transport
         self.tracer = tracer
+        self._flight = (
+            flight.recorder(f"cohort-{member_id}")
+            if flight is not None
+            else NULL_RECORDER
+        )
         self.mailbox = transport.register(member_id)
         gateway_cfg = config.gateway
         if gateway_cfg.writeback:
@@ -223,6 +238,7 @@ class CohortMember:
             tracer=tracer,
             metrics=metrics,
             register_mutation_hook=False,
+            flight=flight,
         )
         if gateway_cfg.writeback:
             # Invalidation records for buffered mutations are minted at
@@ -303,7 +319,13 @@ class CohortMember:
         """
         if outcome is None or not outcome.applied or not outcome.changed:
             return
-        self._publish(mutation.op, mutation.path, "", self._clock)
+        self._publish(
+            mutation.op,
+            mutation.path,
+            "",
+            self._clock,
+            parent=mutation.trace,
+        )
 
     def rename(self, old_prefix: str, new_prefix: str, now: float) -> int:
         self._clock = now
@@ -318,8 +340,28 @@ class CohortMember:
         return renamed
 
     def _publish(
-        self, op: str, path: str, new_path: str, now: float
+        self,
+        op: str,
+        path: str,
+        new_path: str,
+        now: float,
+        parent: Optional[Tuple[int, int, int]] = None,
     ) -> BroadcastResult:
+        # The mint span is opened *before* the record so its context can
+        # travel on the record across the multicast; ``parent`` is the
+        # flush span of a write-back ack (None for write-through roots).
+        span = None
+        trace_ctx: Optional[Tuple[int, int, int]] = None
+        if self.tracer.enabled and self.config.publish_invalidations:
+            span = self.tracer.start_span(
+                path or new_path,
+                self.member_id,
+                trace_id=None if parent is None else parent[0],
+                parent_id=None if parent is None else parent[1],
+                component="cohort",
+                kind="inval_mint",
+            )
+            trace_ctx = span.context(self.member_id)
         record = InvalidationRecord(
             origin=self.member_id,
             seq=self.log_base + len(self.log) + 1,
@@ -327,6 +369,7 @@ class CohortMember:
             path=path,
             new_path=new_path,
             epoch=now,
+            trace=trace_ctx,
         )
         if not self.config.publish_invalidations:
             # Broken-deployment mode: the mutation happened but no record
@@ -338,8 +381,15 @@ class CohortMember:
             return BroadcastResult(record=record, sent_to=())
         self.log.append(record)
         if not self.peers:
+            if span is not None:
+                span.event("cohort_publish", seq=record.seq, op=op, peers=0)
+                span.finish("COHORT-PUBLISH", self.member_id, 0.0, 0)
             return BroadcastResult(record=record, sent_to=())
         self._c["published"].labels(self._label).inc()
+        if self._flight.enabled:
+            self._flight.record(
+                "inval_mint", now, seq=record.seq, op=op, path=path
+            )
         sent: List[int] = []
         for peer in self.peers:
             self._send(
@@ -347,14 +397,14 @@ class CohortMember:
                 MessageKind.INVALIDATE,
                 {"record": record.as_payload()},
                 now,
+                trace=trace_ctx,
             )
             sent.append(peer)
         # Peers currently suspected are expected to miss this publish —
         # dedup through the (sorted) suspicion set so duplication faults
         # or repeated publishes can never double-count an outage.
         missing = tuple(sorted(self.suspected))
-        if self.tracer.enabled:
-            span = self.tracer.start_span(path or new_path, -1)
+        if span is not None:
             span.event(
                 "cohort_publish",
                 seq=record.seq,
@@ -491,6 +541,34 @@ class CohortMember:
     def _apply(self, record: InvalidationRecord) -> None:
         self._c["applied"].labels(self._label, record.op).inc()
         self.client.apply_mutation(record.to_event())
+        if self.tracer.enabled and record.trace is not None:
+            # The final hop of the mutation's causal tree: this peer
+            # dropping the leases the mutation made stale.
+            span = self.tracer.start_span(
+                record.path,
+                self.member_id,
+                trace_id=record.trace[0],
+                parent_id=record.trace[1],
+                component="cohort",
+                kind="inval_apply",
+            )
+            span.event(
+                "inval_apply",
+                target=self.member_id,
+                op=record.op,
+                origin=record.origin,
+                seq=record.seq,
+            )
+            span.finish("COHORT-APPLY", self.member_id, 0.0, 1)
+        if self._flight.enabled:
+            self._flight.record(
+                "inval_apply",
+                self._clock,
+                origin=record.origin,
+                seq=record.seq,
+                op=record.op,
+                path=record.path,
+            )
 
     def _check_for_gap(self, origin: int, latest: int, now: float) -> None:
         if latest > self.applied_seq[origin]:
@@ -558,18 +636,34 @@ class CohortMember:
                     self._c["peer_missing"].labels(
                         self._label, str(peer)
                     ).inc()
+                    if self._flight.enabled:
+                        self._flight.record(
+                            "peer_suspected",
+                            now,
+                            peer=peer,
+                            silent=silent,
+                            gap_stuck=gap_stuck,
+                        )
             elif peer in self.suspected:
                 self.suspected.discard(peer)
                 self._c["peer_recovered"].labels(
                     self._label, str(peer)
                 ).inc()
+                if self._flight.enabled:
+                    self._flight.record("peer_recovered", now, peer=peer)
         if self.suspected and not self.clamped:
             self.clamped = True
             self._c["clamp_engaged"].labels(self._label).inc()
+            if self._flight.enabled:
+                self._flight.record(
+                    "clamp_engaged", now, suspected=sorted(self.suspected)
+                )
             self.client.clamp_leases(cfg.ttl_clamp_s, now)
         elif not self.suspected and self.clamped:
             self.clamped = False
             self._c["clamp_released"].labels(self._label).inc()
+            if self._flight.enabled:
+                self._flight.record("clamp_released", now)
             self.client.release_lease_clamp()
 
     def _send(
@@ -578,6 +672,7 @@ class CohortMember:
         kind: MessageKind,
         payload: Dict[str, object],
         now: float,
+        trace: Optional[Tuple[int, int, int]] = None,
     ) -> bool:
         self._c["protocol_sends"].labels(self._label, kind.value).inc()
         message = Message(
@@ -585,6 +680,7 @@ class CohortMember:
             sender=self.member_id,
             payload=payload,
             arrival_vtime=now,
+            trace=trace,
         )
         return self.transport.send(dest, message)
 
@@ -630,6 +726,7 @@ class GatewayCohort:
         faults: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorderHub] = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"cohort size must be >= 1, got {size}")
@@ -638,6 +735,7 @@ class GatewayCohort:
         self.faults: FaultInjector = faults if faults is not None else NULL_INJECTOR
         self.metrics = metrics if metrics is not None else cluster.metrics
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self.flight = flight
         self.transport = InProcessTransport(injector=self.faults)
         counters = self._register_metrics(self.metrics)
         ids = list(range(size))
@@ -651,6 +749,7 @@ class GatewayCohort:
                 metrics=self.metrics,
                 tracer=self.tracer,
                 counters=counters,
+                flight=flight,
             )
             for member_id in ids
         ]

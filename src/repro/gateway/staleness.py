@@ -101,9 +101,23 @@ class StalenessAuditor:
     bound_s:
         The staleness window; a stale read older than this is a
         violation.  Pass ``CohortConfig.staleness_bound_s``.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; audited
+        reads and violations become ``gateway_staleness_*`` counters the
+        SLO engine can evaluate.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorderHub`; the first
+        violation of a run dumps every component's recent events (the
+        forensic snapshot the harness attaches to a red result).
     """
 
-    def __init__(self, cluster: GHBACluster, bound_s: float) -> None:
+    def __init__(
+        self,
+        cluster: GHBACluster,
+        bound_s: float,
+        metrics=None,
+        flight=None,
+    ) -> None:
         if bound_s <= 0:
             raise ValueError(f"bound_s must be positive, got {bound_s}")
         self.cluster = cluster
@@ -112,6 +126,18 @@ class StalenessAuditor:
         self.stats = AuditStats()
         self.stale_reads: List[StaleRead] = []
         self.violating_reads: List[StaleRead] = []
+        self.flight = flight
+        self._audited_counter = None
+        self._violations_counter = None
+        if metrics is not None:
+            self._audited_counter = metrics.counter(
+                "gateway_staleness_audited_total",
+                "Gateway answers checked against the live fleet.",
+            )
+            self._violations_counter = metrics.counter(
+                "gateway_staleness_violations_total",
+                "Cache-served reads staler than the cohort bound.",
+            )
 
     # ------------------------------------------------------------------
     # Recording
@@ -152,6 +178,8 @@ class StalenessAuditor:
         if not response.outcome.is_answer:
             return None
         self.stats.audited += 1
+        if self._audited_counter is not None:
+            self._audited_counter.inc()
         if not response.from_cache:
             return None
         self.stats.cache_served += 1
@@ -170,6 +198,14 @@ class StalenessAuditor:
         else:
             self.stats.violations += 1
             self.violating_reads.append(stale)
+            if self._violations_counter is not None:
+                self._violations_counter.inc()
+            if self.flight is not None and self.stats.violations == 1:
+                # One forensic dump per run: the first violation carries
+                # the events that led here; later ones add only noise.
+                self.flight.dump(
+                    f"staleness-violation-{response.path}", now
+                )
             if stale.mutation_time is not None:
                 self.stats.staleness_samples.append(stale.staleness_s)
         return stale

@@ -65,14 +65,20 @@ class PendingMutation:
     enqueued_at: float = 0.0
     absorbed: int = 0
     retries: int = 0
+    #: Optional (trace_id, parent_span_id, origin) causal context, set by
+    #: the gateway when tracing is enabled; None on the hot path.
+    trace: Optional[Tuple[int, int, int]] = None
 
-    def as_path_mutation(self) -> PathMutation:
+    def as_path_mutation(
+        self, trace: Optional[Tuple[int, int, int]] = None
+    ) -> PathMutation:
         return PathMutation(
             version=self.version,
             op=self.op,
             path=self.path,
             record=self.record,
             base_version=self.base_version,
+            trace=trace if trace is not None else self.trace,
         )
 
 

@@ -37,6 +37,10 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
     """Flatten a span (and its hop events) into a JSON-able dict."""
     return {
         "trace_id": span.trace_id,
+        "span_id": getattr(span, "span_id", span.trace_id),
+        "parent_id": getattr(span, "parent_id", None),
+        "component": getattr(span, "component", ""),
+        "kind": getattr(span, "kind", ""),
         "path": span.path,
         "origin_id": span.origin_id,
         "level": span.level,

@@ -201,6 +201,42 @@ def gateway_hotspot_report(gateway: "MetadataClient", top: int = 5) -> str:
     return "\n".join(lines)
 
 
+#: Counter-family prefixes the pipeline section covers, in render order.
+PIPELINE_PREFIXES = (
+    "gateway_writeback_",
+    "gateway_cohort_",
+    "gateway_staleness_",
+)
+
+
+def gateway_pipeline_report(registry, prefixes=PIPELINE_PREFIXES) -> str:
+    """Counter tables for the write-back / cohort / staleness pipelines.
+
+    Walks the registry for counter families whose names match
+    ``prefixes`` and renders one line per family with its per-series
+    tallies.  Returns ``""`` when no matching family has recorded
+    anything, so runs without those subsystems keep their report
+    byte-identical.
+    """
+    rows: List[str] = []
+    for family in registry.families():
+        if family.kind != "counter" or len(family) == 0:
+            continue
+        if not any(family.name.startswith(p) for p in prefixes):
+            continue
+        series = family.as_dict()  # type: ignore[union-attr]
+        if set(series) == {""}:
+            cells = f"{series['']:g}"
+        else:
+            cells = "  ".join(
+                f"{label}={value:g}" for label, value in series.items()
+            )
+        rows.append(f"{family.name:<42} {cells}")
+    if not rows:
+        return ""
+    return "\n".join(["-- gateway pipeline counters --"] + rows)
+
+
 def render_report(
     cluster: "GHBACluster",
     top: int = 5,
@@ -227,4 +263,13 @@ def render_report(
     if gateway is not None:
         gateway.refresh_gauges()
         sections.extend(["", gateway_hotspot_report(gateway, top=top)])
+        pipeline = gateway_pipeline_report(gateway.metrics)
+        if pipeline:
+            sections.extend(["", pipeline])
+    else:
+        # Shared-registry runs (cohort harnesses register on the
+        # cluster's registry) still get the pipeline tables.
+        pipeline = gateway_pipeline_report(cluster.metrics)
+        if pipeline:
+            sections.extend(["", pipeline])
     return "\n".join(sections)

@@ -96,9 +96,22 @@ class Span:
         "messages",
         "false_forwards",
         "finished",
+        "span_id",
+        "parent_id",
+        "component",
+        "kind",
     )
 
-    def __init__(self, trace_id: int, path: str, origin_id: int) -> None:
+    def __init__(
+        self,
+        trace_id: int,
+        path: str,
+        origin_id: int,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        component: str = "",
+        kind: str = "",
+    ) -> None:
         self.trace_id = trace_id
         self.path = path
         self.origin_id = origin_id
@@ -109,6 +122,13 @@ class Span:
         self.messages = 0
         self.false_forwards = 0
         self.finished = False
+        # Causal-tree identity: span_id is unique per span; parent_id links
+        # to the span one hop upstream (None for a root); component/kind
+        # say where in the pipeline the span was minted.
+        self.span_id = trace_id if span_id is None else span_id
+        self.parent_id = parent_id
+        self.component = component
+        self.kind = kind
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -178,6 +198,11 @@ class Span:
     def __len__(self) -> int:
         return len(self.events)
 
+    def context(self, origin: int = -1) -> "TraceContext":
+        """The ``(trace_id, parent_span_id, origin)`` context downstream
+        hops attach to — this span becomes the child's parent."""
+        return (self.trace_id, self.span_id, origin)
+
     def __repr__(self) -> str:
         state = self.level if self.finished else "open"
         return (
@@ -186,12 +211,26 @@ class Span:
         )
 
 
+#: Trace context threaded through message envelopes and mutation records:
+#: ``(trace_id, parent_span_id, origin)``.  ``None`` everywhere tracing is
+#: disabled, so the hot path never allocates one.
+TraceContext = Tuple[int, int, int]
+
+
 class Tracer(Protocol):
     """What the instrumented query paths require of a tracer."""
 
     enabled: bool
 
-    def start_span(self, path: str, origin_id: int) -> Span:
+    def start_span(
+        self,
+        path: str,
+        origin_id: int,
+        trace_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        component: str = "",
+        kind: str = "",
+    ) -> Span:
         """Open a span for one lookup; the caller seals it via finish()."""
         ...
 
@@ -206,6 +245,10 @@ class _NullSpan:
     __slots__ = ()
 
     trace_id = -1
+    span_id = -1
+    parent_id: Optional[int] = None
+    component = ""
+    kind = ""
     path = ""
     origin_id = -1
     events: Tuple[SpanEvent, ...] = ()
@@ -216,6 +259,9 @@ class _NullSpan:
 
     def finish(self, *args: Any, **kwargs: Any) -> None:
         pass
+
+    def context(self, origin: int = -1) -> TraceContext:
+        return (-1, -1, origin)
 
     def level_path(self) -> List[str]:
         return []
@@ -237,7 +283,7 @@ class NullTracer:
 
     _SPAN = _NullSpan()
 
-    def start_span(self, path: str, origin_id: int) -> _NullSpan:
+    def start_span(self, path: str, origin_id: int, **_: Any) -> _NullSpan:
         return self._SPAN
 
     def __repr__(self) -> str:
@@ -267,8 +313,25 @@ class CollectingTracer:
         self._max_spans = max_spans
         self._next_id = 0
 
-    def start_span(self, path: str, origin_id: int) -> Span:
-        span = Span(self._next_id, path, origin_id)
+    def start_span(
+        self,
+        path: str,
+        origin_id: int,
+        trace_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        component: str = "",
+        kind: str = "",
+    ) -> Span:
+        span_id = self._next_id
+        span = Span(
+            span_id if trace_id is None else trace_id,
+            path,
+            origin_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            component=component,
+            kind=kind,
+        )
         self._next_id += 1
         self.spans.append(span)
         if self._max_spans is not None and len(self.spans) > self._max_spans:

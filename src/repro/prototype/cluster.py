@@ -92,6 +92,7 @@ class PrototypeCluster:
         metrics: Optional[MetricsRegistry] = None,
         injector: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
+        flight=None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -100,6 +101,8 @@ class PrototypeCluster:
         self.config = config or GHBAConfig()
         self.scheme = scheme
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional FlightRecorderHub; crash_node records and dumps here.
+        self.flight = flight
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.transport = InProcessTransport(
             injector=injector, retry=retry, metrics=self.metrics
@@ -280,7 +283,14 @@ class PrototypeCluster:
         if origin_id is None:
             with self._lock:
                 origin_id = self._rng.choice(sorted(self.nodes))
-        span = self.tracer.start_span(path, origin_id)
+        span = self.tracer.start_span(
+            path, origin_id, component="prototype", kind="lookup"
+        )
+        # Causal context threaded onto every protocol message of this
+        # lookup (None when tracing is off — no per-message allocation).
+        trace_ctx = (
+            span.context(origin_id) if self.tracer.enabled else None
+        )
         t = vtime + net.unicast_ms / 1000.0
         checkpoint_ms = 0.0
         degraded = False
@@ -315,6 +325,7 @@ class PrototypeCluster:
                 sender=origin_id,
                 payload=payload,
                 arrival_vtime=arrival,
+                trace=trace_ctx,
             )
             try:
                 return self.transport.request(dest, message)
@@ -353,6 +364,7 @@ class PrototypeCluster:
                             sender=CLIENT,
                             payload={"path": path, "home_id": home},
                             arrival_vtime=t_done,
+                            trace=trace_ctx,
                         ),
                     )
                 except TransportClosed:
@@ -424,6 +436,7 @@ class PrototypeCluster:
                         sender=origin_id,
                         payload={"path": path},
                         arrival_vtime=arrival,
+                        trace=trace_ctx,
                     ),
                 )
                 hits: set = set(l2_hits or [])
@@ -460,6 +473,7 @@ class PrototypeCluster:
                 sender=origin_id,
                 payload={"path": path},
                 arrival_vtime=arrival,
+                trace=trace_ctx,
             ),
         )
         home: Optional[int] = None
@@ -948,6 +962,18 @@ class PrototypeCluster:
         node._mailbox.put(Message(kind=MessageKind.STOP, sender=CLIENT))
         node.join(timeout=5.0)
         self.transport.deregister(node_id)
+        if self.flight is not None:
+            self.flight.recorder("cluster").record("crash_node", node=node_id)
+            # The injector dumps too (once per outage); dump here only
+            # when no injector will — a bare crash must still ship its
+            # forensic snapshot.
+            injector_dumps = (
+                self.transport.injector.enabled
+                and getattr(self.transport.injector, "flight", None)
+                is self.flight
+            )
+            if not injector_dumps:
+                self.flight.dump(f"crash-node-{node_id}")
         if self.transport.injector.enabled:
             self.transport.injector.silence(node_id)
 

@@ -6,7 +6,7 @@ import enum
 import itertools
 import queue
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 _request_ids = itertools.count(1)
 
@@ -60,6 +60,11 @@ class Message:
     arrival_vtime:
         Virtual time (seconds) at which the request reaches the node —
         drives the node's single-server queue accounting.
+    trace:
+        Optional ``(trace_id, parent_span_id, origin)`` causal context
+        (``repro.obs.trace.TraceContext``).  ``None`` whenever tracing is
+        disabled, so the hot path never allocates one.  Replies inherit
+        the request's context.
     """
 
     kind: MessageKind
@@ -68,6 +73,7 @@ class Message:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     reply_to: Optional["queue.Queue[Message]"] = None
     arrival_vtime: float = 0.0
+    trace: Optional[Tuple[int, int, int]] = None
 
     def reply(self, **payload: Any) -> "Message":
         """Build the reply to this message."""
@@ -76,4 +82,5 @@ class Message:
             sender=-1,
             payload=payload,
             request_id=self.request_id,
+            trace=self.trace,
         )

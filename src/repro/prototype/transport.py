@@ -227,6 +227,7 @@ class InProcessTransport:
             payload=message.payload,
             request_id=message.request_id,
             arrival_vtime=message.arrival_vtime + self.retry.timeout_s + backoff_s,
+            trace=message.trace,
         )
 
     def request(

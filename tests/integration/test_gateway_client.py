@@ -186,7 +186,7 @@ class TestMetricsAndReport:
         gateway.lookup_many([paths[0], paths[0], paths[1]], now=0.0)
         gateway.lookup(paths[0], now=0.1)
         m = cluster.metrics
-        assert m.get("gateway_requests_total").get("lookup") == 4
+        assert m.get("gateway_requests_total").get("lookup", "-") == 4
         assert m.get("gateway_cache_hits_total").get("positive") == 1
         assert m.get("gateway_coalesced_total").value == 1
         assert m.get("gateway_backend_queries_total").total() == 2

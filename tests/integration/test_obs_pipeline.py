@@ -1,0 +1,168 @@
+"""Integration: end-to-end causal tracing over the write-back pipeline.
+
+The acceptance surface of the observability pass: one buffered mutation
+issued through a write-back cohort member must leave a causal trace that
+assembles into the full five-hop chain
+
+    wb_enqueue -> wb_flush -> wb_arbitrate -> inval_mint -> inval_apply
+
+spanning client enqueue, gateway flush, MDS arbitration, invalidation
+mint and the peer's cache drop; a crash mid-run must produce a flight
+dump; and running the identical workload with observability disabled
+must leave every metric bit-identical.
+"""
+
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.faults import FaultPlan, PlanFaultInjector
+from repro.gateway import CohortConfig, GatewayConfig, GatewayCohort
+from repro.obs import (
+    MUTATION_CHAIN,
+    FlightRecorderHub,
+    assemble_traces,
+    chain_kinds,
+    find_chains,
+    render_tree,
+)
+from repro.obs.export import span_to_dict
+from repro.obs.trace import CollectingTracer
+
+
+def _config(seed=21):
+    return GHBAConfig(
+        max_group_size=4,
+        expected_files_per_mds=200,
+        lru_capacity=256,
+        lru_filter_bits=1 << 10,
+        seed=seed,
+    )
+
+
+def _cluster(seed=21, tracer=None):
+    cluster = GHBACluster(8, _config(seed), seed=seed, tracer=tracer)
+    paths = [f"/obs/d{i % 4}/f{i}" for i in range(120)]
+    cluster.populate(paths)
+    cluster.synchronize_replicas(force=True)
+    return cluster, paths
+
+
+def _run_pipeline(tracer=None, flight=None, faults=None, seed=21):
+    """One deterministic write-back mutation workload through a cohort."""
+    cluster, paths = _cluster(seed, tracer)
+    cohort = GatewayCohort(
+        cluster,
+        2,
+        CohortConfig(
+            gateway=GatewayConfig(lease_ttl_s=60.0, writeback=True)
+        ),
+        faults=faults,
+        tracer=tracer,
+        flight=flight,
+    )
+    left, right = cohort.members
+    # Warm the peer's leases so the invalidations visibly drop them.
+    for path in paths[:6]:
+        right.lookup(path, 0.0)
+    # Buffered mutations through the left member: parked (BUFFERED),
+    # flushed at the barrier, invalidations multicast on the ack.
+    left.delete(paths[0], 0.1)
+    left.delete(paths[1], 0.1)
+    left.create("/obs/new/f0", 0.1)
+    cohort.step(0.2)
+    cohort.flush_barrier(0.3)
+    cohort.step(0.4)  # peers apply the INVALIDATE records
+    return cluster, cohort, paths
+
+
+class TestCausalChain:
+    def test_full_five_hop_chain_assembles(self):
+        tracer = CollectingTracer()
+        _, cohort, paths = _run_pipeline(tracer=tracer)
+        left, right = cohort.members
+        assert paths[0] not in right.client.cache  # the drop happened
+
+        spans = [span_to_dict(s) for s in tracer.finished_spans()]
+        trees = assemble_traces(spans)
+        complete = find_chains(trees)
+        assert len(complete) >= 1, (
+            "no trace contains the full mutation chain; kinds seen: "
+            f"{sorted(set(k for t in trees for k in t.kinds()))}"
+        )
+        tree = complete[0]
+        assert chain_kinds(tree) == MUTATION_CHAIN
+
+        # The chain is causally *nested*, not merely co-resident: walk
+        # parent -> child and check each stage hangs off the previous.
+        stages = {}
+        for node in tree.walk():
+            stages.setdefault(node.kind, node)
+        enqueue = stages["wb_enqueue"]
+        assert enqueue.span.get("component") == "gateway"
+        assert stages["wb_flush"] in enqueue.walk()
+        assert stages["wb_arbitrate"] in stages["wb_flush"].walk()
+        assert stages["inval_mint"] in stages["wb_flush"].walk()
+        assert stages["inval_apply"] in stages["inval_mint"].walk()
+        assert stages["wb_arbitrate"].span.get("component") == "mds"
+        assert stages["inval_apply"].span.get("component") == "cohort"
+
+        # The rendered tree shows the chain line the CLI prints.
+        text = render_tree(tree)
+        assert "chain: " + " -> ".join(MUTATION_CHAIN) in text
+
+    def test_rendered_forest_is_deterministic(self):
+        first = CollectingTracer()
+        _run_pipeline(tracer=first)
+        second = CollectingTracer()
+        _run_pipeline(tracer=second)
+        forest_a = assemble_traces(
+            [span_to_dict(s) for s in first.finished_spans()]
+        )
+        forest_b = assemble_traces(
+            [span_to_dict(s) for s in second.finished_spans()]
+        )
+        assert [render_tree(t) for t in forest_a] == [
+            render_tree(t) for t in forest_b
+        ]
+
+
+class TestFlightDumpAtCrash:
+    def test_crash_during_run_dumps_flight_recorder(self, tmp_path):
+        flight = FlightRecorderHub(dump_dir=str(tmp_path))
+        injector = PlanFaultInjector(FaultPlan(seed=21), flight=flight)
+        tracer = CollectingTracer()
+        _, cohort, _ = _run_pipeline(
+            tracer=tracer, flight=flight, faults=injector
+        )
+        # The driver executes the plan's crash event mid-run.
+        injector.silence(1)
+        assert len(flight.dumps) == 1
+        dump = flight.dumps[0]
+        assert dump["reason"] == "crash-node-1"
+        # The rings captured the pipeline activity leading up to the
+        # crash: the issuing member minted invalidations, the fault
+        # component logged the silence.
+        assert "cohort-0" in dump["components"]
+        minted = [
+            e for e in dump["components"]["cohort-0"]
+            if e["kind"] == "inval_mint"
+        ]
+        assert len(minted) >= 1
+        assert dump["components"]["faults"][-1]["kind"] == "silence"
+        assert len(list(tmp_path.glob("flight-001-*.json"))) == 1
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_counters_bit_identical_with_obs_on_and_off(self):
+        plain_cluster, plain_cohort, _ = _run_pipeline()
+        tracer = CollectingTracer()
+        flight = FlightRecorderHub()
+        traced_cluster, traced_cohort, _ = _run_pipeline(
+            tracer=tracer, flight=flight
+        )
+        assert len(tracer.finished_spans()) > 0  # obs actually ran
+        assert plain_cluster.metrics.snapshot() == (
+            traced_cluster.metrics.snapshot()
+        )
+        assert plain_cohort.counter_snapshot() == (
+            traced_cohort.counter_snapshot()
+        )

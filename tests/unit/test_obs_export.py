@@ -18,6 +18,9 @@ from repro.obs.trace import CollectingTracer
 from repro.sim.engine import Simulator
 
 GOLDEN = Path(__file__).parent / "data" / "prometheus_golden.prom"
+GATEWAY_GOLDEN = (
+    Path(__file__).parent / "data" / "prometheus_gateway_golden.prom"
+)
 
 
 def _finished_span():
@@ -102,6 +105,82 @@ class TestPrometheus:
         size = write_prometheus(_golden_registry(), out)
         assert size == out.stat().st_size
         assert out.read_text() == GOLDEN.read_text()
+
+
+def _gateway_registry():
+    """The labeled gateway families added by the observability pass."""
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "gateway_requests_total",
+        "Gateway requests, by op and tenant.",
+        labels=("op", "tenant"),
+    )
+    requests.labels("lookup", "t0").inc(120)
+    requests.labels("lookup", "t1").inc(30)
+    requests.labels("create", "t0").inc(8)
+    flushed = registry.counter(
+        "gateway_writeback_flushed_total",
+        "Buffered mutations flushed, by op and home MDS.",
+        labels=("op", "home"),
+    )
+    flushed.labels("create", "3").inc(5)
+    flushed.labels("delete", "7").inc(2)
+    latency = registry.histogram(
+        "gateway_lookup_latency_ms",
+        "Gateway-observed lookup latency, per tenant.",
+        labels=("tenant",),
+        buckets=(0.01, 0.1, 1.0, 10.0, 100.0),
+    )
+    for value in (0.005, 0.05, 0.5, 0.5, 5.0):
+        latency.labels("t0").observe(value)
+    latency.labels("t1").observe(50.0)
+    return registry
+
+
+class TestPrometheusEdgeCases:
+    def test_newlines_in_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("nl_total", labels=("msg",))
+        family.labels("line1\nline2").inc()
+        text = prometheus_exposition(registry)
+        assert 'nl_total{msg="line1\\nline2"} 1' in text
+        # The exposition itself must stay one-series-per-line.
+        series_lines = [
+            line for line in text.splitlines() if line.startswith("nl_total{")
+        ]
+        assert len(series_lines) == 1
+
+    def test_quotes_and_backslashes_escaped_together(self):
+        registry = MetricsRegistry()
+        family = registry.counter("esc2_total", labels=("v",))
+        family.labels('q"q\\b\nn').inc()
+        text = prometheus_exposition(registry)
+        assert 'esc2_total{v="q\\"q\\\\b\\nn"} 1' in text
+
+    def test_empty_histogram_family_emits_header_only(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_ms", "Never observed.", buckets=(1.0,))
+        text = prometheus_exposition(registry)
+        assert "# HELP h_ms Never observed." in text
+        assert "# TYPE h_ms histogram" in text
+        assert "h_ms_bucket" not in text
+        assert "h_ms_count" not in text
+
+    def test_empty_labeled_counter_emits_header_only(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "Never incremented.", labels=("op",))
+        text = prometheus_exposition(registry)
+        assert "# TYPE c_total counter" in text
+        assert "c_total{" not in text
+
+    def test_gateway_families_match_golden_file(self):
+        exposition = prometheus_exposition(_gateway_registry())
+        assert exposition == GATEWAY_GOLDEN.read_text()
+
+    def test_gateway_exposition_deterministic(self):
+        assert prometheus_exposition(_gateway_registry()) == (
+            prometheus_exposition(_gateway_registry())
+        )
 
 
 class TestSnapshots:

@@ -1,0 +1,57 @@
+"""Unit tests for the gateway pipeline report section (`repro.obs.report`)."""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import PIPELINE_PREFIXES, gateway_pipeline_report
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "gateway_writeback_flushed_total", labels=("op", "home")
+    ).labels("create", "3").inc(5)
+    registry.counter("gateway_cohort_published_total", labels=("member",))
+    registry.counter("gateway_staleness_audited_total").inc(40)
+    registry.counter("gateway_requests_total", labels=("op", "tenant"))
+    return registry
+
+
+class TestGatewayPipelineReport:
+    def test_covers_writeback_cohort_and_staleness_prefixes(self):
+        assert PIPELINE_PREFIXES == (
+            "gateway_writeback_", "gateway_cohort_", "gateway_staleness_",
+        )
+
+    def test_renders_matching_families_with_series(self):
+        report = gateway_pipeline_report(_registry())
+        assert report.startswith("-- gateway pipeline counters --")
+        assert "gateway_writeback_flushed_total" in report
+        assert "create|3=5" in report
+        assert "gateway_staleness_audited_total" in report
+        assert "40" in report
+
+    def test_skips_empty_and_unmatched_families(self):
+        report = gateway_pipeline_report(_registry())
+        # Registered but never incremented: no row.
+        assert "gateway_cohort_published_total" not in report
+        # Matching kind but not a pipeline prefix: no row.
+        assert "gateway_requests_total" not in report
+
+    def test_empty_registry_renders_empty_string(self):
+        assert gateway_pipeline_report(MetricsRegistry()) == ""
+
+    def test_unlabeled_series_renders_bare_value(self):
+        registry = MetricsRegistry()
+        registry.counter("gateway_staleness_violations_total").inc(2)
+        report = gateway_pipeline_report(registry)
+        (row,) = [
+            line for line in report.splitlines()
+            if line.startswith("gateway_staleness_violations_total")
+        ]
+        assert row.split()[-1] == "2"
+        assert "=" not in row
+
+    def test_histograms_and_gauges_excluded(self):
+        registry = MetricsRegistry()
+        registry.histogram("gateway_writeback_age_ms").observe(1.0)
+        registry.gauge("gateway_writeback_pending").set(3)
+        assert gateway_pipeline_report(registry) == ""
