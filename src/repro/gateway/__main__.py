@@ -51,6 +51,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import tempfile
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cluster import GHBACluster, MutationEvent
@@ -981,14 +982,25 @@ def _resolve_bench_defaults(args) -> None:
     stay safe); the single-gateway bench keeps its original defaults.
     """
     cohort = args.cohort is not None
+    tcp = args.transport == "tcp"
+    if args.servers is None:
+        args.servers = 4 if tcp else 20
+    if args.files is None:
+        args.files = 800 if tcp else 3_000
     if args.ops is None:
-        args.ops = 20_000 if cohort else 5_000
+        args.ops = 2_000 if tcp else (20_000 if cohort else 5_000)
     if args.lease_ttl_s is None:
         args.lease_ttl_s = 30.0 if cohort else 5.0
+    if tcp and args.workdir is None:
+        args.workdir = tempfile.mkdtemp(prefix="repro-tcp-bench-")
 
 
 def _cmd_bench(args) -> int:
     _resolve_bench_defaults(args)
+    if args.transport == "tcp":
+        from repro.net.bench import run_tcp_bench
+
+        return run_tcp_bench(args, _run_metadata)
     if args.cohort is not None:
         return _cmd_cohort_bench(args)
     if args.writeback:
@@ -1028,13 +1040,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench",
         help="replay a trace through the gateway vs. direct cluster access",
     )
-    bench.add_argument("--servers", type=_positive_int, default=20)
+    bench.add_argument(
+        "--transport", choices=("inproc", "tcp"), default="inproc",
+        help="inproc (default): the deterministic single-process bench; "
+        "tcp: launch real MDS/gateway OS processes over the repro.net "
+        "wire and measure wall-clock cost (artifact BENCH_tcp.json)",
+    )
+    bench.add_argument(
+        "--servers", type=_positive_int, default=None,
+        help="MDS count (default: 20; tcp mode: 4 real processes)",
+    )
     bench.add_argument("--group-size", type=_positive_int, default=5)
-    bench.add_argument("--files", type=_positive_int, default=3_000)
+    bench.add_argument(
+        "--files", type=_positive_int, default=None,
+        help="namespace size (default: 3000; tcp mode: 800)",
+    )
     bench.add_argument(
         "--ops", type=_positive_int, default=None,
         help="trace length (default: 5000; cohort mode: 20000 so "
-        "compulsory misses amortize)",
+        "compulsory misses amortize; tcp mode: 2000 ops per gateway)",
+    )
+    bench.add_argument(
+        "--gateways", type=_positive_int, default=2,
+        help="tcp mode: number of gateway worker processes",
+    )
+    bench.add_argument(
+        "--lookup-frac", type=float, default=0.8,
+        help="tcp mode: fraction of ops that are lookup batches",
+    )
+    bench.add_argument(
+        "--timeout-s", type=float, default=10.0,
+        help="tcp mode: per-request timeout",
+    )
+    bench.add_argument(
+        "--worker-timeout-s", type=float, default=300.0,
+        help="tcp mode: hard cap on one gateway worker's runtime",
+    )
+    bench.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="tcp mode: scratch directory for child configs/logs "
+        "(default: a fresh temp dir)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_tcp.json", metavar="FILE.json",
+        help="tcp mode: wall-clock stats artifact",
     )
     bench.add_argument("--clients", type=_positive_int, default=8)
     bench.add_argument(

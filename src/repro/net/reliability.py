@@ -1,0 +1,174 @@
+"""Transport-agnostic reliability: bounded retry with backoff, partial
+multicast results, and the shared unreachable-peer vocabulary.
+
+Before this module existed the retry loop lived inside
+``InProcessTransport.request`` / ``gather``; the TCP transport needs the
+identical recovery semantics (same attempt budget, same backoff draws,
+same partial-failure shape), so the loop is hoisted here and both
+transports drive it through a small wire-adapter surface:
+
+``dispatch_attempt(dest, message, count)``
+    Arm the reply path and put one attempt on the wire.  Returns True
+    when the attempt was delivered, False when the fault layer is known
+    to have dropped it (the driver then skips the real-clock wait), and
+    raises :class:`TransportClosed` when the destination is gone.
+``collect_reply(message, timeout_s)``
+    Block up to ``timeout_s`` for the attempt's reply; None on timeout.
+``reply_received(count)``
+    Accounting hook: one reply arrived (``count=False`` for harness
+    pings that stay off the wire totals).
+``retry_attempt(message, backoff_s)``
+    Build the re-sent attempt (fresh copy, later virtual arrival).
+``next_backoff(retry_index)``
+    Draw the next backoff from the policy (the transport owns the seeded
+    RNG so instrumenting one transport never perturbs another).
+``note_retry(backoff_s)`` / ``note_exhausted(count)``
+    Counter hooks.
+
+The drivers below reproduce the in-process loop *exactly* — attempt
+ordering, one backoff draw per retry wave, shared per-wave gather
+deadline — so hoisting them is counter-invisible (a regression test
+pins the retry/exhausted totals under a seeded fault plan).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.faults.retry import RetryPolicy
+
+
+class TransportClosed(Exception):
+    """Raised when sending to a deregistered or unreachable node."""
+
+
+@dataclass
+class GatherResult:
+    """Outcome of one multicast: what answered, what did not.
+
+    A missing destination is *not* an error: callers degrade (fall back to
+    a wider broadcast, proceed with partial coverage) instead of aborting.
+
+    Attributes
+    ----------
+    replies:
+        ``{dest: reply}`` for every destination that answered.
+    missing:
+        Destinations that never replied within the retry budget.
+    unreachable:
+        Destinations whose endpoint is gone (crashed / deregistered
+        nodes in-process, connection-refused peers over TCP).
+    """
+
+    replies: Dict[int, object] = field(default_factory=dict)
+    missing: Tuple[int, ...] = ()
+    unreachable: Tuple[int, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing and not self.unreachable
+
+    def __len__(self) -> int:
+        return len(self.replies)
+
+
+def reliable_request(
+    wire,
+    policy: RetryPolicy,
+    dest: int,
+    message,
+    timeout_s: float,
+    count: bool = True,
+):
+    """Send one request with bounded retry; return the reply.
+
+    Raises :class:`TimeoutError` once the attempt budget is exhausted and
+    propagates :class:`TransportClosed` from the wire (a vanished
+    destination is a different failure than a silent one).
+    """
+    attempt = message
+    for index in range(policy.max_attempts):
+        delivered = wire.dispatch_attempt(dest, attempt, count)
+        reply = None
+        if delivered:
+            reply = wire.collect_reply(attempt, timeout_s)
+        if reply is not None:
+            wire.reply_received(count)
+            return reply
+        if index + 1 >= policy.max_attempts:
+            break
+        backoff = wire.next_backoff(index)
+        wire.note_retry(backoff)
+        attempt = wire.retry_attempt(attempt, backoff)
+    wire.note_exhausted(1)
+    raise TimeoutError(
+        f"no reply from node {dest} for {message.kind.value} "
+        f"(request {message.request_id}) after "
+        f"{policy.max_attempts} attempt(s)"
+    )
+
+
+def reliable_gather(
+    wire,
+    policy: RetryPolicy,
+    dests: Iterable[int],
+    build_message: Callable[[int], object],
+    timeout_s: float,
+) -> GatherResult:
+    """Multicast with per-wave shared deadline and bounded retry.
+
+    All destinations of one attempt wave share a single deadline — the
+    total real wait is bounded by ``timeout_s`` per wave, not
+    ``len(dests) x timeout_s`` — and destinations that stay silent are
+    retried with backoff.  Unreachable destinations (wire raised
+    :class:`TransportClosed`) are reported, never raised.
+    """
+    replies: Dict[int, object] = {}
+    unreachable: List[int] = []
+    # dest -> (in-flight message, delivered?)
+    pending: Dict[int, Tuple[object, bool]] = {}
+
+    def dispatch(dest: int, message) -> None:
+        try:
+            delivered = wire.dispatch_attempt(dest, message, True)
+        except TransportClosed:
+            unreachable.append(dest)
+            return
+        pending[dest] = (message, delivered)
+
+    for dest in dests:
+        dispatch(dest, build_message(dest))
+
+    for index in range(policy.max_attempts):
+        # Collect this wave against one shared deadline.  Replies land
+        # concurrently in per-dest reply paths, so draining them one by
+        # one against the common deadline still bounds the total wait.
+        deadline = time.monotonic() + timeout_s
+        for dest in list(pending):
+            message, delivered = pending[dest]
+            if not delivered:
+                continue  # known-dropped: no reply will ever come
+            remaining = deadline - time.monotonic()
+            reply = wire.collect_reply(message, max(0.0, remaining))
+            if reply is None:
+                continue
+            replies[dest] = reply
+            del pending[dest]
+            wire.reply_received(True)
+        if not pending or index + 1 >= policy.max_attempts:
+            break
+        backoff = wire.next_backoff(index)
+        for dest in sorted(pending):
+            message, _ = pending.pop(dest)
+            wire.note_retry(backoff)
+            dispatch(dest, wire.retry_attempt(message, backoff))
+
+    if pending:
+        wire.note_exhausted(len(pending))
+    return GatherResult(
+        replies=replies,
+        missing=tuple(sorted(pending)),
+        unreachable=tuple(sorted(unreachable)),
+    )

@@ -65,6 +65,7 @@ from repro.obs.report import (
     render_report,
     render_summary,
     server_hotspots,
+    transport_report,
 )
 from repro.obs.slo import (
     DEFAULT_BURN_WINDOWS,
@@ -137,6 +138,7 @@ __all__ = [
     "select",
     "server_hotspots",
     "span_to_dict",
+    "transport_report",
     "tree_to_dict",
     "write_prometheus",
     "write_spans_jsonl",

@@ -237,6 +237,37 @@ def gateway_pipeline_report(registry, prefixes=PIPELINE_PREFIXES) -> str:
     return "\n".join(["-- gateway pipeline counters --"] + rows)
 
 
+def transport_report(registry) -> str:
+    """Counter/gauge tables for the wire transport (``transport_*``).
+
+    Covers both transports' shared retry counters and the TCP-only wire
+    stats (bytes/frames by direction, connects, backpressure stalls,
+    queue high-water).  Returns ``""`` when no transport family has
+    recorded anything, so virtual-clock runs keep their report
+    byte-identical.
+    """
+    rows: List[str] = []
+    for family in registry.families():
+        if not family.name.startswith("transport_"):
+            continue
+        if family.kind not in ("counter", "gauge") or len(family) == 0:
+            continue
+        series = {
+            "|".join(labels): child.value
+            for labels, child in family.children()
+        }
+        if set(series) == {""}:
+            cells = f"{series['']:g}"
+        else:
+            cells = "  ".join(
+                f"{label}={value:g}" for label, value in sorted(series.items())
+            )
+        rows.append(f"{family.name:<42} {cells}")
+    if not rows:
+        return ""
+    return "\n".join(["-- transport counters --"] + rows)
+
+
 def render_report(
     cluster: "GHBACluster",
     top: int = 5,
@@ -263,13 +294,15 @@ def render_report(
     if gateway is not None:
         gateway.refresh_gauges()
         sections.extend(["", gateway_hotspot_report(gateway, top=top)])
-        pipeline = gateway_pipeline_report(gateway.metrics)
-        if pipeline:
-            sections.extend(["", pipeline])
+        registry = gateway.metrics
     else:
         # Shared-registry runs (cohort harnesses register on the
         # cluster's registry) still get the pipeline tables.
-        pipeline = gateway_pipeline_report(cluster.metrics)
-        if pipeline:
-            sections.extend(["", pipeline])
+        registry = cluster.metrics
+    pipeline = gateway_pipeline_report(registry)
+    if pipeline:
+        sections.extend(["", pipeline])
+    transport = transport_report(registry)
+    if transport:
+        sections.extend(["", transport])
     return "\n".join(sections)

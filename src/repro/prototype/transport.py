@@ -9,10 +9,12 @@ The transport is also the fault boundary (``repro.faults``): every send
 passes through a :class:`~repro.faults.injector.FaultInjector` (the no-op
 :data:`~repro.faults.injector.NULL_INJECTOR` by default), which may drop,
 delay or duplicate the message.  Lost replies are recovered by bounded
-retry with exponential backoff + jitter (:class:`~repro.faults.retry.RetryPolicy`);
-timeout and backoff penalties are charged to the retried message's
-*virtual* arrival time, so recovery costs show up in the latency figures
-without slowing the real clock.
+retry with exponential backoff + jitter (:class:`~repro.faults.retry.RetryPolicy`),
+driven by the transport-agnostic loop in :mod:`repro.net.reliability`
+(shared with the TCP transport so both recover identically); timeout and
+backoff penalties are charged to the retried message's *virtual* arrival
+time, so recovery costs show up in the latency figures without slowing
+the real clock.
 """
 
 from __future__ import annotations
@@ -20,46 +22,19 @@ from __future__ import annotations
 import queue
 import random
 import threading
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.faults.injector import FaultInjector, NULL_INJECTOR
 from repro.faults.retry import DEFAULT_RETRY, RetryPolicy
+from repro.net.reliability import (
+    GatherResult,
+    TransportClosed,
+    reliable_gather,
+    reliable_request,
+)
 from repro.prototype.messages import Message
 
-
-class TransportClosed(Exception):
-    """Raised when sending to a deregistered node."""
-
-
-@dataclass
-class GatherResult:
-    """Outcome of one multicast: what answered, what did not.
-
-    A missing destination is *not* an error: callers degrade (fall back to
-    a wider broadcast, proceed with partial coverage) instead of aborting.
-
-    Attributes
-    ----------
-    replies:
-        ``{dest: reply}`` for every destination that answered.
-    missing:
-        Destinations that never replied within the retry budget.
-    unreachable:
-        Destinations whose mailbox is gone (crashed / deregistered nodes).
-    """
-
-    replies: Dict[int, Message] = field(default_factory=dict)
-    missing: Tuple[int, ...] = ()
-    unreachable: Tuple[int, ...] = ()
-
-    @property
-    def complete(self) -> bool:
-        return not self.missing and not self.unreachable
-
-    def __len__(self) -> int:
-        return len(self.replies)
+__all__ = ["GatherResult", "InProcessTransport", "TransportClosed"]
 
 
 class InProcessTransport:
@@ -215,7 +190,40 @@ class InProcessTransport:
         if self._exhausted_counter is not None:
             self._exhausted_counter.inc(count)
 
-    def _retry_copy(self, message: Message, backoff_s: float) -> Message:
+    # ------------------------------------------------------------------
+    # Wire adapter driven by repro.net.reliability
+    # ------------------------------------------------------------------
+    def dispatch_attempt(self, dest: int, message: Message, count: bool) -> bool:
+        """Arm a fresh reply queue and put one attempt on the wire."""
+        message.reply_to = queue.Queue()
+        return self.send(dest, message, count=count)
+
+    def collect_reply(
+        self, message: Message, timeout_s: float
+    ) -> Optional[Message]:
+        try:
+            return message.reply_to.get(timeout=timeout_s)
+        except queue.Empty:
+            return None
+
+    def reply_received(self, count: bool) -> None:
+        if count:
+            self._count_reply()
+        else:
+            with self._lock:
+                self._replies_received += 1
+
+    def next_backoff(self, retry_index: int) -> float:
+        with self._lock:
+            return self.retry.backoff_s(retry_index, self._retry_rng)
+
+    def note_retry(self, backoff_s: float) -> None:
+        self._note_retry(backoff_s)
+
+    def note_exhausted(self, count: int) -> None:
+        self._note_exhausted(count)
+
+    def retry_attempt(self, message: Message, backoff_s: float) -> Message:
         """The re-sent attempt: same request, later virtual arrival.
 
         The failed attempt's timeout and the backoff are virtual-clock
@@ -246,36 +254,7 @@ class InProcessTransport:
         to the retry's virtual arrival time instead.
         """
         timeout = timeout_s if timeout_s is not None else self._default_timeout
-        attempt = message
-        for index in range(self.retry.max_attempts):
-            reply_queue: "queue.Queue[Message]" = queue.Queue()
-            attempt.reply_to = reply_queue
-            delivered = self.send(dest, attempt, count=count)
-            reply: Optional[Message] = None
-            if delivered:
-                try:
-                    reply = reply_queue.get(timeout=timeout)
-                except queue.Empty:
-                    reply = None
-            if reply is not None:
-                if count:
-                    self._count_reply()
-                else:
-                    with self._lock:
-                        self._replies_received += 1
-                return reply
-            if index + 1 >= self.retry.max_attempts:
-                break
-            with self._lock:
-                backoff = self.retry.backoff_s(index, self._retry_rng)
-            self._note_retry(backoff)
-            attempt = self._retry_copy(attempt, backoff)
-        self._note_exhausted()
-        raise TimeoutError(
-            f"no reply from node {dest} for {message.kind.value} "
-            f"(request {message.request_id}) after "
-            f"{self.retry.max_attempts} attempt(s)"
-        )
+        return reliable_request(self, self.retry, dest, message, timeout, count)
 
     def gather(
         self,
@@ -295,53 +274,4 @@ class InProcessTransport:
         aborting and discarding replies already received.
         """
         timeout = timeout_s if timeout_s is not None else self._default_timeout
-        replies: Dict[int, Message] = {}
-        unreachable: List[int] = []
-        # dest -> (in-flight message, delivered?)
-        pending: Dict[int, Tuple[Message, bool]] = {}
-
-        def dispatch(dest: int, message: Message) -> None:
-            message.reply_to = queue.Queue()
-            try:
-                delivered = self.send(dest, message)
-            except TransportClosed:
-                unreachable.append(dest)
-                return
-            pending[dest] = (message, delivered)
-
-        for dest in dests:
-            dispatch(dest, build_message(dest))
-
-        for index in range(self.retry.max_attempts):
-            # Collect this wave against one shared deadline.  Replies land
-            # in per-dest queues concurrently, so draining them one by one
-            # against the common deadline still bounds the total wait.
-            deadline = time.monotonic() + timeout
-            for dest in list(pending):
-                message, delivered = pending[dest]
-                if not delivered:
-                    continue  # known-dropped: no reply will ever come
-                remaining = deadline - time.monotonic()
-                try:
-                    reply = message.reply_to.get(timeout=max(0.0, remaining))
-                except queue.Empty:
-                    continue
-                replies[dest] = reply
-                del pending[dest]
-                self._count_reply()
-            if not pending or index + 1 >= self.retry.max_attempts:
-                break
-            with self._lock:
-                backoff = self.retry.backoff_s(index, self._retry_rng)
-            for dest in sorted(pending):
-                message, _ = pending.pop(dest)
-                self._note_retry(backoff)
-                dispatch(dest, self._retry_copy(message, backoff))
-
-        if pending:
-            self._note_exhausted(len(pending))
-        return GatherResult(
-            replies=replies,
-            missing=tuple(sorted(pending)),
-            unreachable=tuple(sorted(unreachable)),
-        )
+        return reliable_gather(self, self.retry, dests, build_message, timeout)

@@ -1,0 +1,168 @@
+"""Property tests for the wire codec: random payloads round-trip
+bit-identically; random corruption never escapes ``CodecError``.
+
+No hypothesis dependency — seeded ``random.Random`` generators in the
+style of the write-back property suite, so failures replay exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.bloom.bloom_filter import BloomFilter
+from repro.metadata.attributes import FileKind, FileMetadata
+from repro.net.codec import CodecError, decode_frame, encode_frame
+from repro.prototype.messages import Message, MessageKind
+
+
+def _random_scalar(rng):
+    roll = rng.random()
+    if roll < 0.15:
+        return None
+    if roll < 0.30:
+        return rng.random() < 0.5
+    if roll < 0.50:
+        magnitude = rng.choice([2 ** 8, 2 ** 32, 2 ** 63])
+        return rng.randint(-magnitude, magnitude)
+    if roll < 0.65:
+        # round/struct keeps NaN out (NaN != NaN breaks equality checks).
+        return rng.choice([0.0, -1.5, 3.14159, 1e18, -2.0 ** 52])
+    if roll < 0.85:
+        length = rng.randint(0, 12)
+        return "".join(
+            rng.choice("abz/._-é漢☃") for _ in range(length)
+        )
+    return bytes(rng.randrange(256) for _ in range(rng.randint(0, 16)))
+
+
+def _random_metadata(rng):
+    if rng.random() < 0.3:
+        return FileMetadata(
+            path="/ln/" + str(rng.randrange(1000)),
+            inode=rng.randrange(2 ** 48),
+            kind=FileKind.SYMLINK,
+            symlink_target="/t/" + str(rng.randrange(1000)),
+        )
+    return FileMetadata(
+        path="/f/" + str(rng.randrange(1000)),
+        inode=rng.randrange(2 ** 48),
+        kind=rng.choice([FileKind.REGULAR, FileKind.DIRECTORY]),
+        size=rng.randrange(2 ** 40),
+        uid=rng.randrange(2 ** 16),
+        gid=rng.randrange(2 ** 16),
+        mode=rng.randrange(2 ** 12),
+        atime=rng.random() * 1e6,
+        mtime=rng.random() * 1e6,
+        ctime=rng.random() * 1e6,
+        nlink=rng.randrange(1, 8),
+    )
+
+
+def _random_bloom(rng):
+    bloom = BloomFilter(
+        num_bits=rng.choice([64, 256, 1024]),
+        num_hashes=rng.randint(1, 5),
+        seed=rng.randrange(100),
+    )
+    for _ in range(rng.randint(0, 10)):
+        bloom.add("/k/" + str(rng.randrange(1000)))
+    return bloom
+
+
+def _random_value(rng, depth):
+    if depth > 0 and rng.random() < 0.35:
+        if rng.random() < 0.5:
+            return [
+                _random_value(rng, depth - 1)
+                for _ in range(rng.randint(0, 4))
+            ]
+        return {
+            f"k{idx}_{rng.randrange(100)}": _random_value(rng, depth - 1)
+            for idx in range(rng.randint(0, 4))
+        }
+    roll = rng.random()
+    if roll < 0.08:
+        return _random_metadata(rng)
+    if roll < 0.12:
+        return _random_bloom(rng)
+    return _random_scalar(rng)
+
+
+def _random_message(rng):
+    return Message(
+        kind=rng.choice(list(MessageKind)),
+        sender=rng.randint(-10, 40),
+        payload={
+            f"f{idx}": _random_value(rng, depth=3)
+            for idx in range(rng.randint(0, 5))
+        },
+        request_id=rng.randrange(1, 2 ** 32),
+        arrival_vtime=rng.random() * 1e4,
+        trace=(
+            (rng.randrange(2 ** 63), rng.randrange(2 ** 32), rng.randrange(64))
+            if rng.random() < 0.5
+            else None
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_messages_roundtrip_bit_identically(seed):
+    rng = random.Random(seed)
+    for _ in range(40):
+        message = _random_message(rng)
+        expects_reply = rng.random() < 0.5
+        frame = encode_frame(message, expects_reply)
+        decoded, decoded_expects = decode_frame(frame)
+        assert decoded_expects is expects_reply
+        assert decoded.kind is message.kind
+        assert decoded.sender == message.sender
+        assert decoded.request_id == message.request_id
+        assert decoded.arrival_vtime == message.arrival_vtime
+        assert decoded.trace == message.trace
+        # The canonical-form contract: re-encoding the decoded message
+        # reproduces the original frame bit for bit.
+        assert encode_frame(decoded, decoded_expects) == frame
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_corrupted_frames_never_escape_codec_error(seed):
+    """Flip/truncate/extend random frames: the decoder must either raise
+    ``CodecError`` or return a well-formed Message — nothing else."""
+    rng = random.Random(1000 + seed)
+    for _ in range(60):
+        frame = bytearray(encode_frame(_random_message(rng), True))
+        mutation = rng.random()
+        if mutation < 0.4 and frame:
+            for _ in range(rng.randint(1, 4)):
+                frame[rng.randrange(len(frame))] ^= 1 << rng.randrange(8)
+        elif mutation < 0.7:
+            frame = frame[: rng.randrange(len(frame) + 1)]
+        elif mutation < 0.9:
+            frame += bytes(
+                rng.randrange(256) for _ in range(rng.randint(1, 8))
+            )
+        else:
+            frame = bytearray(
+                rng.randrange(256) for _ in range(rng.randint(0, 64))
+            )
+        try:
+            decoded, expects = decode_frame(bytes(frame))
+        except CodecError:
+            continue
+        assert isinstance(decoded, Message)
+        assert isinstance(decoded.payload, dict)
+        assert isinstance(expects, bool)
+
+
+def test_garbage_prefixes_fail_fast():
+    rng = random.Random(99)
+    for _ in range(200):
+        blob = bytes(rng.randrange(256) for _ in range(rng.randint(0, 32)))
+        try:
+            decode_frame(blob)
+        except CodecError:
+            continue
+        # Only a blob that accidentally forms a full valid frame may
+        # decode; with random magic bytes that is effectively impossible.
+        pytest.fail(f"garbage decoded: {blob!r}")

@@ -1,7 +1,11 @@
 """Unit tests for the gateway pipeline report section (`repro.obs.report`)."""
 
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import PIPELINE_PREFIXES, gateway_pipeline_report
+from repro.obs.report import (
+    PIPELINE_PREFIXES,
+    gateway_pipeline_report,
+    transport_report,
+)
 
 
 def _registry():
@@ -55,3 +59,51 @@ class TestGatewayPipelineReport:
         registry.histogram("gateway_writeback_age_ms").observe(1.0)
         registry.gauge("gateway_writeback_pending").set(3)
         assert gateway_pipeline_report(registry) == ""
+
+
+class TestTransportReport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "transport_bytes_total", labels=("direction",)
+        ).labels("out").inc(4096)
+        registry.counter(
+            "transport_frames_total", labels=("direction",)
+        ).labels("in").inc(7)
+        registry.counter("transport_connect_retries_total").inc(2)
+        registry.gauge("transport_queue_high_water").set(12)
+        registry.histogram("transport_retry_backoff_ms").observe(1.5)
+        # Registered but never touched: no row.
+        registry.counter("transport_backpressure_stalls_total")
+        # Non-transport family: never rendered here.
+        registry.counter("gateway_staleness_audited_total").inc(3)
+        return registry
+
+    def test_renders_transport_counters_and_gauges(self):
+        report = transport_report(self._registry())
+        assert report.startswith("-- transport counters --")
+        assert "transport_bytes_total" in report
+        assert "out=4096" in report
+        assert "transport_frames_total" in report
+        assert "in=7" in report
+        assert "transport_queue_high_water" in report
+
+    def test_skips_histograms_empty_and_foreign_families(self):
+        report = transport_report(self._registry())
+        assert "transport_retry_backoff_ms" not in report
+        assert "transport_backpressure_stalls_total" not in report
+        assert "gateway_staleness_audited_total" not in report
+
+    def test_unlabeled_series_renders_bare_value(self):
+        registry = MetricsRegistry()
+        registry.counter("transport_connects_total").inc(5)
+        report = transport_report(registry)
+        (row,) = [
+            line for line in report.splitlines()
+            if line.startswith("transport_connects_total")
+        ]
+        assert row.split()[-1] == "5"
+        assert "=" not in row
+
+    def test_empty_registry_renders_empty_string(self):
+        assert transport_report(MetricsRegistry()) == ""
