@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -32,6 +33,15 @@ PathLike = Union[str, Path]
 
 #: Bumped on any incompatible format change.
 FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file or document that cannot be restored.
+
+    Raised for torn/truncated files (invalid JSON) and for format
+    mismatches.  Subclasses :class:`ValueError` so pre-existing callers
+    that caught the broad type keep working.
+    """
 
 _CONFIG_FIELDS = (
     "max_group_size",
@@ -204,7 +214,7 @@ def restore(document: Dict[str, Any], seed: int = 0) -> GHBACluster:
     """Reconstruct a cluster from a :func:`snapshot` document."""
     version = document.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"unsupported checkpoint format {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
@@ -237,15 +247,50 @@ def restore(document: Dict[str, Any], seed: int = 0) -> GHBACluster:
     return cluster
 
 
+def atomic_write_text(path: PathLike, payload: str) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + rename).
+
+    A crash mid-write must never leave a torn file at ``path``: the
+    payload lands in a sibling temp file first and is moved into place
+    with :func:`os.replace`, which is atomic on POSIX and Windows.  A
+    reader therefore sees either the old complete file or the new one.
+    """
+    target = Path(path)
+    tmp = target.parent / (target.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    os.replace(tmp, target)
+
+
 def save(cluster: GHBACluster, path: PathLike) -> int:
-    """Write a checkpoint file; returns its size in bytes."""
+    """Write a checkpoint file atomically; returns its size in bytes.
+
+    A standby fleet bootstraps from these files, so a half-written
+    checkpoint is a correctness hazard, not an inconvenience — hence
+    :func:`atomic_write_text` rather than a plain ``write_text``.
+    """
     document = snapshot(cluster)
     payload = json.dumps(document, separators=(",", ":"))
-    Path(path).write_text(payload, encoding="utf-8")
+    atomic_write_text(path, payload)
     return len(payload)
 
 
 def load(path: PathLike, seed: int = 0) -> GHBACluster:
-    """Read a checkpoint file back into a live cluster."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read a checkpoint file back into a live cluster.
+
+    Raises :class:`CheckpointError` when the file is torn/truncated
+    (invalid JSON) or carries an unsupported format version — callers
+    must never half-restore from a corrupt checkpoint.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path!s}: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint {path!s}: expected a JSON object, "
+            f"got {type(document).__name__}"
+        )
     return restore(document, seed=seed)

@@ -91,6 +91,33 @@ class MutationEvent:
     home_id: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One *applied* namespace mutation, in change-data-capture form.
+
+    Richer than :class:`MutationEvent` (which exists for cache
+    invalidation and deliberately omits payloads): a ChangeEvent carries
+    enough to *replay* the mutation on another fleet, so the replication
+    tier (:mod:`repro.replication`) can ship per-home ordered change
+    streams to a standby cluster.
+
+    ``op`` is ``"create"``, ``"delete"`` or ``"rename"``.  ``home_id``
+    is the server whose durable state changed — renames are per-home
+    under G-HBA (each server re-keys only its own records), so one
+    cluster-wide rename emits one ChangeEvent per affected home, with
+    ``path``/``new_path`` the old and new prefixes.  ``record`` carries
+    the full metadata for creates and is ``None`` otherwise.  Only
+    mutations that actually changed durable state are emitted (a no-op
+    delete or a conflicted write-back mutation is not a change).
+    """
+
+    op: str
+    path: str
+    home_id: int
+    record: Optional[FileMetadata] = None
+    new_path: str = ""
+
+
 @dataclass
 class BatchVerifyResult:
     """Outcome of one multi-key direct verification at a single MDS.
@@ -244,6 +271,10 @@ class GHBACluster:
         #: Empty by default, so the mutation paths pay one truthiness
         #: check — the NULL_TRACER zero-overhead discipline.
         self._mutation_listeners: List[Callable[[MutationEvent], None]] = []
+        #: Change-data-capture listeners (the replication tier registers
+        #: here).  Same zero-overhead discipline: every emit site checks
+        #: truthiness before building the event.
+        self._change_listeners: List[Callable[[ChangeEvent], None]] = []
         #: Backend path versions: bumped on every namespace mutation of a
         #: path (create/delete/rename, through any entry point).  The
         #: write-back gateway stamps its buffered mutations with the last
@@ -424,6 +455,28 @@ class GHBACluster:
         for listener in self._mutation_listeners:
             listener(event)
 
+    def add_change_listener(
+        self, listener: Callable[[ChangeEvent], None]
+    ) -> None:
+        """Register a CDC callback fired on every *applied* mutation.
+
+        The replication tier (:mod:`repro.replication`) uses this to
+        capture per-home ordered change streams for a standby fleet.
+        Bulk :meth:`populate` is deliberately silent — a standby
+        bootstraps from a full checkpoint (``REPL_SYNC``), not from
+        replaying the initial load.
+        """
+        self._change_listeners.append(listener)
+
+    def remove_change_listener(
+        self, listener: Callable[[ChangeEvent], None]
+    ) -> None:
+        self._change_listeners.remove(listener)
+
+    def _emit_change(self, event: ChangeEvent) -> None:
+        for listener in self._change_listeners:
+            listener(event)
+
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
@@ -448,6 +501,12 @@ class GHBACluster:
             self._notify(
                 MutationEvent(op="create", path=meta.path, home_id=home_id)
             )
+        if self._change_listeners:
+            self._emit_change(
+                ChangeEvent(
+                    op="create", path=meta.path, home_id=home_id, record=meta
+                )
+            )
         return home_id
 
     def delete_file(self, path: str) -> Optional[int]:
@@ -469,6 +528,10 @@ class GHBACluster:
         if self._mutation_listeners:
             self._notify(
                 MutationEvent(op="delete", path=path, home_id=home_id)
+            )
+        if self._change_listeners:
+            self._emit_change(
+                ChangeEvent(op="delete", path=path, home_id=home_id)
             )
         return home_id
 
@@ -523,31 +586,8 @@ class GHBACluster:
         if old_prefix == new_prefix:
             return 0
         renamed = 0
-        all_victims: List[str] = []
-        for server in self.servers.values():
-            victims = [
-                path
-                for path in server.store.paths()
-                if path == old_prefix or path.startswith(old_prefix + "/")
-            ]
-            for path in victims:
-                meta = server.store.get(path)
-                server.store.remove(path)
-                new_meta = meta.renamed(new_prefix + path[len(old_prefix):])
-                server.store.put(new_meta)
-                server.local_filter.add(new_meta.path)
-                # Both names mutated: the old path vanished, the new one
-                # appeared — a buffered mutation based on either is stale.
-                self._bump_path_version(path)
-                self._bump_path_version(new_meta.path)
-                renamed += 1
-            if victims:
-                server._refresh_memory_accounting()
-                all_victims.extend(victims)
-        # Stale LRU entries for the old names are dropped at every origin.
-        for server in self.servers.values():
-            for path in all_victims:
-                server.lru.invalidate(path)
+        for server_id in self.server_ids():
+            renamed += self.rename_subtree_at(server_id, old_prefix, new_prefix)
         if renamed and self._mutation_listeners:
             self._notify(
                 MutationEvent(
@@ -555,6 +595,56 @@ class GHBACluster:
                 )
             )
         return renamed
+
+    def rename_subtree_at(
+        self, server_id: int, old_prefix: str, new_prefix: str
+    ) -> int:
+        """Re-key one home's records under ``old_prefix`` — the per-home
+        half of :meth:`rename_subtree`.
+
+        Renames never migrate records across servers, so a cluster-wide
+        rename is exactly this operation repeated per home.  The
+        replication standby applies renames through it (the primary
+        emits one :class:`ChangeEvent` per *affected* home), so a rename
+        replays on precisely the homes it changed and cannot
+        double-apply.  Returns the number of records re-keyed.
+        """
+        if not old_prefix.startswith("/") or not new_prefix.startswith("/"):
+            raise ValueError("prefixes must be absolute paths")
+        if old_prefix == new_prefix:
+            return 0
+        server = self.servers[server_id]
+        victims = [
+            path
+            for path in server.store.paths()
+            if path == old_prefix or path.startswith(old_prefix + "/")
+        ]
+        for path in victims:
+            meta = server.store.get(path)
+            server.store.remove(path)
+            new_meta = meta.renamed(new_prefix + path[len(old_prefix):])
+            server.store.put(new_meta)
+            server.local_filter.add(new_meta.path)
+            # Both names mutated: the old path vanished, the new one
+            # appeared — a buffered mutation based on either is stale.
+            self._bump_path_version(path)
+            self._bump_path_version(new_meta.path)
+        if victims:
+            server._refresh_memory_accounting()
+            # Stale LRU entries for the old names drop at every origin.
+            for other in self.servers.values():
+                for path in victims:
+                    other.lru.invalidate(path)
+            if self._change_listeners:
+                self._emit_change(
+                    ChangeEvent(
+                        op="rename",
+                        path=old_prefix,
+                        home_id=server_id,
+                        new_path=new_prefix,
+                    )
+                )
+        return len(victims)
 
     # ------------------------------------------------------------------
     # The four-level query critical path (Section 2.3)
@@ -1017,6 +1107,15 @@ class GHBACluster:
                 self._notify(
                     MutationEvent(op="create", path=path, home_id=server_id)
                 )
+            if self._change_listeners:
+                self._emit_change(
+                    ChangeEvent(
+                        op="create",
+                        path=path,
+                        home_id=server_id,
+                        record=mutation.record,
+                    )
+                )
             return MutationOutcome(
                 version=mutation.version,
                 op=mutation.op,
@@ -1061,6 +1160,10 @@ class GHBACluster:
             if self._mutation_listeners:
                 self._notify(
                     MutationEvent(op="delete", path=path, home_id=server_id)
+                )
+            if self._change_listeners:
+                self._emit_change(
+                    ChangeEvent(op="delete", path=path, home_id=server_id)
                 )
             return MutationOutcome(
                 version=mutation.version,

@@ -106,6 +106,10 @@ KIND_TO_WIRE = {
     MessageKind.COHORT_HEARTBEAT: 20,
     MessageKind.COHORT_SYNC: 21,
     MessageKind.COHORT_SYNC_REPLY: 22,
+    MessageKind.REPL_SHIP: 23,
+    MessageKind.REPL_ACK: 24,
+    MessageKind.REPL_SYNC: 25,
+    MessageKind.REPL_PROMOTE: 26,
 }
 WIRE_TO_KIND = {wire_id: kind for kind, wire_id in KIND_TO_WIRE.items()}
 

@@ -268,6 +268,35 @@ def transport_report(registry) -> str:
     return "\n".join(["-- transport counters --"] + rows)
 
 
+def replication_report(registry) -> str:
+    """Counter/gauge tables for cross-cluster replication
+    (``replication_*``): captured/shipped/acked entries, retransmits,
+    fencing rejections, per-home lag gauges.  Returns ``""`` when no
+    replication family has recorded anything, so runs without a
+    standby keep their report byte-identical.
+    """
+    rows: List[str] = []
+    for family in registry.families():
+        if not family.name.startswith("replication_"):
+            continue
+        if family.kind not in ("counter", "gauge") or len(family) == 0:
+            continue
+        series = {
+            "|".join(labels): child.value
+            for labels, child in family.children()
+        }
+        if set(series) == {""}:
+            cells = f"{series['']:g}"
+        else:
+            cells = "  ".join(
+                f"{label}={value:g}" for label, value in sorted(series.items())
+            )
+        rows.append(f"{family.name:<42} {cells}")
+    if not rows:
+        return ""
+    return "\n".join(["-- replication counters --"] + rows)
+
+
 def render_report(
     cluster: "GHBACluster",
     top: int = 5,
@@ -305,4 +334,7 @@ def render_report(
     transport = transport_report(registry)
     if transport:
         sections.extend(["", transport])
+    replication = replication_report(registry)
+    if replication:
+        sections.extend(["", replication])
     return "\n".join(sections)

@@ -425,6 +425,33 @@ def default_objectives() -> Tuple[Objective, ...]:
     )
 
 
+def replication_objectives() -> Tuple[Objective, ...]:
+    """Standing objectives for cross-cluster replication.
+
+    Kept separate from :func:`default_objectives` — replication runs in
+    its own drill/fleet harnesses, and gateway-only runs should not
+    carry (vacuously compliant) replication rows in their SLO reports.
+    The lag threshold must be a ``LAG_BUCKETS_MS`` bucket bound
+    (:mod:`repro.replication.controller`).
+    """
+    return (
+        Objective(
+            name="replication-ship-lag",
+            description="Acked entries replicated within 1 virtual second.",
+            target=0.99,
+            latency_metric="replication_ship_lag_ms",
+            threshold_ms=1000.0,
+        ),
+        Objective(
+            name="replication-ship-availability",
+            description="REPL_SHIP batches not lost past the retry budget.",
+            target=0.99,
+            bad=select("replication_ship_failures_total"),
+            total=select("replication_ships_total"),
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Report rendering
 # ----------------------------------------------------------------------

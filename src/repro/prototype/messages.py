@@ -39,6 +39,12 @@ class MessageKind(enum.Enum):
     COHORT_HEARTBEAT = "cohort_heartbeat"  # latest seq + cumulative acks
     COHORT_SYNC = "cohort_sync"          # anti-entropy: records since seq N
     COHORT_SYNC_REPLY = "cohort_sync_reply"  # log suffix catch-up
+    # Cross-cluster replication protocol (repro.replication).  These
+    # travel from the primary fleet's shipper to a standby endpoint.
+    REPL_SHIP = "repl_ship"          # per-home ordered change-stream batch
+    REPL_ACK = "repl_ack"            # status poll: cumulative floors + epoch
+    REPL_SYNC = "repl_sync"          # full-state bootstrap (checkpoint doc)
+    REPL_PROMOTE = "repl_promote"    # promote standby; fence older epochs
 
 
 @dataclass

@@ -57,6 +57,12 @@ class MDSNode(threading.Thread):
         self._clock_lock = threading.Lock()
         self._busy_until = 0.0
         self.requests_served = 0
+        #: Change-data-capture hook (repro.replication): when set, called
+        #: as ``cdc(op, path, record, vtime)`` for every MUTATE_BATCH
+        #: mutation that actually changed durable state — the prototype
+        #: half of the capture point GHBACluster exposes via
+        #: ``add_change_listener``.  ``None`` default: zero overhead.
+        self.cdc = None
 
     # ------------------------------------------------------------------
     # Virtual clock
@@ -327,6 +333,13 @@ class MDSNode(threading.Thread):
             if changed:
                 service_ms += self._verify_ms(True)
                 server.writeback_applied += 1
+                if self.cdc is not None:
+                    self.cdc(
+                        op,
+                        path,
+                        raw.get("record"),
+                        message.arrival_vtime,
+                    )
             outcome = {
                 "version": version,
                 "op": op,

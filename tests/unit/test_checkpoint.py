@@ -108,5 +108,42 @@ class TestFormatGuards:
     def test_corrupt_payload_rejected(self, live_cluster, tmp_path):
         path = tmp_path / "broken.json"
         path.write_text("{not json")
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(checkpoint.CheckpointError):
             checkpoint.load(path)
+        # CheckpointError subclasses ValueError, so pre-existing broad
+        # handlers keep working.
+        with pytest.raises(ValueError):
+            checkpoint.load(path)
+
+    def test_truncated_file_rejected_with_typed_error(
+        self, live_cluster, tmp_path
+    ):
+        """A torn write (simulated by chopping a valid checkpoint in
+        half) must raise CheckpointError, never half-restore."""
+        path = tmp_path / "torn.json"
+        checkpoint.save(live_cluster, path)
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        with pytest.raises(checkpoint.CheckpointError, match="corrupt"):
+            checkpoint.load(path)
+
+    def test_non_object_document_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(checkpoint.CheckpointError, match="object"):
+            checkpoint.load(path)
+
+
+class TestAtomicWrite:
+    def test_save_leaves_no_temp_file(self, live_cluster, tmp_path):
+        path = tmp_path / "cluster.json"
+        checkpoint.save(live_cluster, path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_atomic_write_replaces_existing(self, tmp_path):
+        path = tmp_path / "doc.json"
+        checkpoint.atomic_write_text(path, "old")
+        checkpoint.atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [path]

@@ -77,6 +77,24 @@ def _sample_payload(kind):
         MessageKind.COHORT_HEARTBEAT: {"seq": 9, "acks": {"0": 4, "2": 7}},
         MessageKind.COHORT_SYNC: {"since": 4},
         MessageKind.COHORT_SYNC_REPLY: {"records": [], "base": 4},
+        MessageKind.REPL_SHIP: {
+            "home": 1,
+            "epoch": 2,
+            "acked": 6,
+            "entries": [
+                {"seq": 7, "op": "create", "path": "/a", "new_path": "",
+                 "record": meta, "vtime": 0.5},
+                {"seq": 8, "op": "rename", "path": "/a", "new_path": "/b",
+                 "record": None, "vtime": 0.75},
+            ],
+        },
+        MessageKind.REPL_ACK: {},
+        MessageKind.REPL_SYNC: {
+            "epoch": 1,
+            "checkpoint": '{"format": 1}',
+            "base_seqs": {"0": 3, "2": 9},
+        },
+        MessageKind.REPL_PROMOTE: {},
     }
     return samples[kind]
 
@@ -115,7 +133,7 @@ def test_trace_context_survives_every_kind(kind):
 
 def test_wire_ids_are_frozen():
     # The wire table is protocol, not implementation: renumbering any
-    # entry breaks mixed-version topologies.  Pin all 22.
+    # entry breaks mixed-version topologies.  Pin all 26.
     assert {k.value: v for k, v in KIND_TO_WIRE.items()} == {
         "probe_lru": 1, "probe_local": 2, "probe_segment": 3, "verify": 4,
         "verify_batch": 5, "mutate_batch": 6, "insert": 7, "host_replica": 8,
@@ -123,7 +141,8 @@ def test_wire_ids_are_frozen():
         "copy_replica_to": 12, "send_local_to": 13, "exchange_replica": 14,
         "record_lru": 15, "ping": 16, "stop": 17, "reply": 18,
         "invalidate": 19, "cohort_heartbeat": 20, "cohort_sync": 21,
-        "cohort_sync_reply": 22,
+        "cohort_sync_reply": 22, "repl_ship": 23, "repl_ack": 24,
+        "repl_sync": 25, "repl_promote": 26,
     }
     assert len(KIND_TO_WIRE) == len(MessageKind)
 

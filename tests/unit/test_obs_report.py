@@ -4,6 +4,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.report import (
     PIPELINE_PREFIXES,
     gateway_pipeline_report,
+    replication_report,
     transport_report,
 )
 
@@ -107,3 +108,40 @@ class TestTransportReport:
 
     def test_empty_registry_renders_empty_string(self):
         assert transport_report(MetricsRegistry()) == ""
+
+
+class TestReplicationReport:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "replication_captured_total", labels=("home",)
+        ).labels("0").inc(12)
+        registry.counter("replication_ships_total").inc(3)
+        registry.gauge(
+            "replication_lag_entries", labels=("home",)
+        ).labels("1").set(4)
+        registry.histogram("replication_ship_lag_ms").observe(2.0)
+        # Registered but never touched: no row.
+        registry.counter("replication_retransmits_total")
+        # Non-replication family: never rendered here.
+        registry.counter("transport_connects_total").inc(5)
+        return registry
+
+    def test_renders_replication_counters_and_gauges(self):
+        report = replication_report(self._registry())
+        assert report.startswith("-- replication counters --")
+        assert "replication_captured_total" in report
+        assert "0=12" in report
+        assert "replication_ships_total" in report
+        assert "replication_lag_entries" in report
+        assert "1=4" in report
+
+    def test_skips_histograms_empty_and_foreign_families(self):
+        report = replication_report(self._registry())
+        assert "replication_ship_lag_ms" not in report
+        assert "replication_retransmits_total" not in report
+        assert "transport_connects_total" not in report
+
+    def test_empty_registry_renders_empty_string(self):
+        # Existing reports stay byte-identical when replication is off.
+        assert replication_report(MetricsRegistry()) == ""
