@@ -1,0 +1,112 @@
+"""Micro-benchmarks: isolated probe cost of the packed Bloom substrate.
+
+Not a paper figure — these isolate the ISSUE 9 hot-path primitives from
+the query pipeline around them, so a regression in the packed-bitset
+layer itself (mask memoization, big-int AND/compare, the batched APIs)
+shows up here even when end-to-end throughput hides it behind RNG and
+metric costs.  Per-item cost is derived by benchmarking a whole batch
+and dividing by the batch size; entries land in ``BENCH_throughput.json``
+as ``micro_*``.
+"""
+
+import pytest
+
+from repro.bloom.arrays import BloomFilterArray, LRUBloomFilterArray
+from repro.bloom.bloom_filter import BloomFilter
+
+from _bench_json import benchmark_entry, update_bench_json
+
+BATCH_SIZES = (1, 16, 256)
+
+#: One L2-like geometry everywhere: 8k bits, 6 hashes (the default the
+#: cluster derives for 1 000 expected files at 8 bits/file).
+NUM_BITS = 1 << 13
+NUM_HASHES = 6
+
+
+def _items(count, tag="probe"):
+    return [f"/micro/{tag}/d{i % 11}/f{i}" for i in range(count)]
+
+
+def _filter_with(items):
+    bloom = BloomFilter(NUM_BITS, NUM_HASHES, seed=9)
+    bloom.update(items)
+    return bloom
+
+
+def _record(name, benchmark, batch):
+    entry = benchmark_entry(benchmark)
+    entry["batch"] = batch
+    entry["per_item_us"] = round(entry["mean_ms"] * 1000.0 / batch, 4)
+    update_bench_json("BENCH_throughput.json", name, entry)
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_filter_query_loop(benchmark, batch):
+    """Baseline: one ``query`` call per item (the unbatched hot path)."""
+    bloom = _filter_with(_items(1_000))
+    probes = _items(batch, tag="loop")
+    bloom.contains_many(probes)  # warm the shared probe cache
+
+    def run():
+        return [bloom.query(item) for item in probes]
+
+    answers = benchmark(run)
+    assert len(answers) == batch
+    _record(f"micro_query_loop_{batch}", benchmark, batch)
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_filter_contains_many(benchmark, batch):
+    """The batched API must beat (or match, at batch=1) the loop."""
+    bloom = _filter_with(_items(1_000))
+    probes = _items(batch, tag="many")
+    bloom.contains_many(probes)
+
+    def run():
+        return bloom.contains_many(probes)
+
+    answers = benchmark(run)
+    assert len(answers) == batch
+    _record(f"micro_contains_many_{batch}", benchmark, batch)
+
+
+def test_segment_array_probe_batch(benchmark):
+    """L2 shape: one segment array holding 8 same-geometry replicas."""
+    array = BloomFilterArray()
+    for home_id in range(8):
+        array.add_replica(
+            home_id, _filter_with(_items(1_000, tag=f"seg{home_id}"))
+        )
+    probes = _items(256, tag="seg3")
+    array.probe_batch(probes)
+
+    def run():
+        return array.probe_batch(probes)
+
+    lookups = benchmark(run)
+    assert len(lookups) == 256
+    assert all(lookup.probes == 8 for lookup in lookups)
+    _record("micro_segment_probe_batch_256", benchmark, 256)
+
+
+def test_lru_array_probe_batch(benchmark):
+    """L1 shape: 30 per-home counting filters over a warm cache."""
+    array = LRUBloomFilterArray(
+        capacity=2_000, filter_bits=1 << 12, num_hashes=NUM_HASHES, seed=9
+    )
+    items = _items(1_500, tag="lru")
+    for index, item in enumerate(items):
+        array.record(item, index % 30)
+    probes = items[:256]
+    array.probe_batch(probes)
+
+    def run():
+        return array.probe_batch(probes)
+
+    lookups = benchmark(run)
+    assert len(lookups) == 256
+    # Warm entries resolve to exactly their recorded home (plus rare
+    # false-positive extras); none may come back empty.
+    assert all(lookup.hits for lookup in lookups)
+    _record("micro_lru_probe_batch_256", benchmark, 256)

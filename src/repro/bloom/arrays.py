@@ -18,15 +18,21 @@ Three array structures from the paper are implemented here:
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bloom.bloom_filter import BloomFilter
 from repro.bloom.counting import CountingBloomFilter
 
+# ``slots=True`` for dataclasses is 3.10+; CI also runs 3.9.
+if sys.version_info >= (3, 10):
+    _frozen_slots = dataclass(frozen=True, slots=True)
+else:  # pragma: no cover - exercised only on Python < 3.10
+    _frozen_slots = dataclass(frozen=True)
 
-@dataclass(frozen=True)
+
+@_frozen_slots
 class ArrayLookup:
     """Result of probing a Bloom filter array.
 
@@ -63,7 +69,20 @@ class BloomFilterArray:
     """An ordered array of Bloom filter replicas keyed by home MDS ID."""
 
     def __init__(self) -> None:
-        self._filters: "OrderedDict[int, BloomFilter]" = OrderedDict()
+        # Insertion-ordered like every dict; a plain dict probes and
+        # iterates faster than OrderedDict on the query hot path.
+        self._filters: Dict[int, BloomFilter] = {}
+        #: Monotonic mutation counter.  Callers that cache a flattened view
+        #: of the array (the group's fused L3 probe plan) compare versions
+        #: to detect replica installs/updates/removals.
+        self._version = 0
+        # Most probes miss every filter; reuse one (immutable) empty result
+        # instead of allocating a fresh ArrayLookup per miss.
+        self._empty_lookup: Optional[ArrayLookup] = None
+
+    @property
+    def version(self) -> int:
+        return self._version
 
     # ------------------------------------------------------------------
     # Replica management
@@ -80,19 +99,23 @@ class BloomFilterArray:
         if home_id in self._filters:
             raise ValueError(f"replica for MDS {home_id} already present")
         self._filters[home_id] = bloom
+        self._version += 1
 
     def replace_replica(self, home_id: int, bloom: BloomFilter) -> None:
         """Overwrite the replica for ``home_id`` (replica update path)."""
         if home_id not in self._filters:
             raise KeyError(f"no replica for MDS {home_id}")
         self._filters[home_id] = bloom
+        self._version += 1
 
     def remove_replica(self, home_id: int) -> BloomFilter:
         """Remove and return the replica for ``home_id``."""
         try:
-            return self._filters.pop(home_id)
+            replica = self._filters.pop(home_id)
         except KeyError:
             raise KeyError(f"no replica for MDS {home_id}") from None
+        self._version += 1
+        return replica
 
     def get_replica(self, home_id: int) -> BloomFilter:
         try:
@@ -123,21 +146,65 @@ class BloomFilterArray:
         """Probe every filter; return the set of hits.
 
         Filters sharing a hash family (the common case: every MDS uses the
-        same geometry so replicas stay comparable) are probed with a single
-        index computation — a large constant-factor win for wide arrays.
+        same geometry so replicas stay comparable — and interning hands
+        them the *same* family object) are probed with one memoized mask
+        computation; each filter then costs one AND plus one compare.
         """
-        index_cache: Dict[Tuple[int, int, int], List[int]] = {}
         hits: List[int] = []
+        family = None
+        mask = 0
         for home_id, bloom in self._filters.items():
-            params = bloom.hash_family.parameters()
-            indices = index_cache.get(params)
-            if indices is None:
-                indices = bloom.hash_family.indices(item)
-                index_cache[params] = indices
-            bits = bloom.bits
-            if all(bits.get(index) for index in indices):
+            if bloom._hashes is not family:
+                family = bloom._hashes
+                mask = family.mask(item)
+            if (bloom._bits._value & mask) == mask:
                 hits.append(home_id)
-        return ArrayLookup(hits=tuple(hits), probes=len(self._filters))
+        probes = len(self._filters)
+        if hits:
+            return ArrayLookup(hits=tuple(hits), probes=probes)
+        empty = self._empty_lookup
+        if empty is None or empty.probes != probes:
+            empty = ArrayLookup(hits=(), probes=probes)
+            self._empty_lookup = empty
+        return empty
+
+    def query_into(self, item: object, hits: set) -> int:
+        """Fused :meth:`query`: union hit IDs into ``hits``, return probes.
+
+        The L3 multicast probes every group member's array for the same
+        item and only needs the union of hits; this variant skips the
+        per-member :class:`ArrayLookup` allocation and sort (DESIGN.md §15).
+        """
+        family = None
+        mask = 0
+        for home_id, bloom in self._filters.items():
+            if bloom._hashes is not family:
+                family = bloom._hashes
+                mask = family.mask(item)
+            if (bloom._bits._value & mask) == mask:
+                hits.add(home_id)
+        return len(self._filters)
+
+    def probe_batch(self, items: Sequence[object]) -> List[ArrayLookup]:
+        """Batched :meth:`query`: one walk of the array per item, with the
+        per-call plumbing (filter iteration setup, family dispatch) hoisted
+        out of the loop.  Semantically identical to ``[self.query(i) for i
+        in items]``."""
+        filters = list(self._filters.items())
+        probes = len(filters)
+        out: List[ArrayLookup] = []
+        for item in items:
+            hits: List[int] = []
+            family = None
+            mask = 0
+            for home_id, bloom in filters:
+                if bloom._hashes is not family:
+                    family = bloom._hashes
+                    mask = family.mask(item)
+                if (bloom._bits._value & mask) == mask:
+                    hits.append(home_id)
+            out.append(ArrayLookup(hits=tuple(hits), probes=probes))
+        return out
 
     # ------------------------------------------------------------------
     # Accounting
@@ -203,8 +270,14 @@ class LRUBloomFilterArray:
         self._num_hashes = num_hashes
         self._seed = seed
         self._policy = policy
-        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        # Insertion order doubles as the recency order (refreshed via
+        # pop + reinsert); a plain dict is faster than OrderedDict here.
+        self._entries: Dict[object, int] = {}
         self._use_counts: Dict[object, int] = {}
+        self._is_lfu = policy == "lfu"
+        self._is_fifo = policy == "fifo"
+        self._is_lru = policy == "lru"
+        self._empty_lru_lookup: Optional[ArrayLookup] = None
         self._hits = 0
         self._misses = 0
         self._filters: Dict[int, CountingBloomFilter] = {}
@@ -262,7 +335,7 @@ class LRUBloomFilterArray:
         migrated), the stale mapping is replaced.  Capacity overflow evicts
         one victim by policy and clears its filter bits.
         """
-        if self._policy == "fifo" and item in self._entries:
+        if self._is_fifo and item in self._entries:
             previous = self._entries[item]
             if previous != home_id:
                 self._filters[previous].discard(item)
@@ -274,14 +347,17 @@ class LRUBloomFilterArray:
             self._filters[previous].discard(item)
             previous = None
         self._entries[item] = home_id
-        self._use_counts[item] = self._use_counts.get(item, 0) + 1
+        if self._is_lfu:
+            # Use counts only drive LFU victim selection; skip the
+            # bookkeeping entirely under LRU/FIFO.
+            self._use_counts[item] = self._use_counts.get(item, 0) + 1
         if previous is None:
             self._filter_for(home_id).add(item)
         if len(self._entries) > self._capacity:
             self._evict_one()
 
     def _pick_victim(self) -> object:
-        if self._policy == "lfu":
+        if self._is_lfu:
             # Least frequently used; ties evict the *newest* entry, so
             # established entries keep tenure instead of thrashing when a
             # scan floods the cache with count-1 items.
@@ -300,18 +376,18 @@ class LRUBloomFilterArray:
     def _evict_one(self) -> None:
         item = self._pick_victim()
         home_id = self._entries.pop(item)
-        if self._policy == "lfu":
+        if self._is_lfu:
             # Keep a ghost frequency count so a repeatedly requested item
             # eventually out-scores incumbents and gets admitted (TinyLFU
             # style); bound the ghost table to a multiple of capacity.
+            # (Under LRU/FIFO ``_use_counts`` is never written, so there
+            # is nothing to drop.)
             if len(self._use_counts) > 8 * self._capacity:
                 self._use_counts = {
                     key: count
                     for key, count in self._use_counts.items()
                     if key in self._entries
                 }
-        else:
-            self._use_counts.pop(item, None)
         self._filters[home_id].discard(item)
 
     def invalidate(self, item: object) -> bool:
@@ -349,25 +425,54 @@ class LRUBloomFilterArray:
         """Probe the per-MDS counting filters (L1 lookup).
 
         Updates the hit/miss counters used for Figure 13's per-level rates.
-        Every per-home filter shares one hash family, so the indices are
-        computed once per distinct geometry.
+        Every per-home filter is built by :meth:`_filter_for` with one
+        geometry, so they all share one interned hash family and the probe
+        mask is computed exactly once.
         """
-        index_cache: Dict[Tuple[int, int, int], List[int]] = {}
         hits_list: List[int] = []
-        for home_id, bloom in self._filters.items():
-            params = bloom.hash_family.parameters()
-            indices = index_cache.get(params)
-            if indices is None:
-                indices = bloom.hash_family.indices(item)
-                index_cache[params] = indices
-            if bloom.contains_indices(indices):
-                hits_list.append(home_id)
-        lookup = ArrayLookup(hits=tuple(hits_list), probes=len(self._filters))
-        if lookup.is_unique:
-            self._hits += 1
-        else:
-            self._misses += 1
-        return lookup
+        filters = self._filters
+        if filters:
+            mask = next(iter(filters.values()))._hashes.mask(item)
+            for home_id, bloom in filters.items():
+                if (bloom._nonzero & mask) == mask:
+                    hits_list.append(home_id)
+        probes = len(filters)
+        if hits_list:
+            if len(hits_list) == 1:
+                self._hits += 1
+            else:
+                self._misses += 1
+            return ArrayLookup(hits=tuple(hits_list), probes=probes)
+        self._misses += 1
+        empty = self._empty_lru_lookup
+        if empty is None or empty.probes != probes:
+            empty = ArrayLookup(hits=(), probes=probes)
+            self._empty_lru_lookup = empty
+        return empty
+
+    def probe_batch(self, items: Sequence[object]) -> List[ArrayLookup]:
+        """Batched :meth:`query` over the per-home counting filters.
+
+        Updates the hit/miss statistics exactly as per-item :meth:`query`
+        calls would.
+        """
+        filters = list(self._filters.items())
+        probes = len(filters)
+        mask_of = filters[0][1]._hashes.mask if filters else None
+        out: List[ArrayLookup] = []
+        for item in items:
+            hits_list: List[int] = []
+            if filters:
+                mask = mask_of(item)
+                for home_id, bloom in filters:
+                    if (bloom._nonzero & mask) == mask:
+                        hits_list.append(home_id)
+            out.append(ArrayLookup(hits=tuple(hits_list), probes=probes))
+            if len(hits_list) == 1:
+                self._hits += 1
+            else:
+                self._misses += 1
+        return out
 
     def touch(self, item: object) -> None:
         """Register a use of ``item`` without changing its mapping.
@@ -377,8 +482,9 @@ class LRUBloomFilterArray:
         """
         if item not in self._entries:
             return
-        self._use_counts[item] = self._use_counts.get(item, 0) + 1
-        if self._policy == "lru":
+        if self._is_lfu:
+            self._use_counts[item] = self._use_counts.get(item, 0) + 1
+        if self._is_lru:
             home_id = self._entries.pop(item)
             self._entries[item] = home_id
 

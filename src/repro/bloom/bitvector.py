@@ -1,18 +1,49 @@
-"""A compact, fixed-size bit vector backed by a ``bytearray``.
+"""A compact, fixed-size bit vector backed by a packed Python big-int.
 
 The Bloom filters in this package store their state in a :class:`BitVector`.
 The class intentionally exposes only the operations Bloom filters need:
 single-bit get/set/clear, population count, and the bitwise algebra
 (OR / AND / XOR) that underpins the filter algebra of paper Section 3.4.
+
+Representation
+--------------
+All bits live in one arbitrary-precision integer ``_value``: bit ``i`` of
+the vector is bit ``i`` of the int.  That makes every whole-vector
+operation — union, intersection, XOR, popcount, equality, subset — a
+*single* C-level big-int operation instead of a Python-level loop over
+bytes, which is what moves the L1/L2 probe walk from a tree of method
+calls to a handful of integer ops (DESIGN.md §15).
+
+The layout is serialization-compatible with the original ``bytearray``
+implementation: ``_value.to_bytes(n, "little")`` places bit ``i`` at
+``byte[i >> 3] & (1 << (i & 7))``, exactly the old wire form, so
+:meth:`to_bytes` / :meth:`from_bytes` stay byte-identical.
+
+Mask-based access
+-----------------
+Hot paths never call :meth:`get` per index.  They precompute an int mask
+(OR of ``1 << index`` over the k hash indices, cached per key by
+:class:`~repro.bloom.hashing.HashFamily`) and ask
+:meth:`contains_mask` — one AND plus one compare for a whole k-probe
+membership test.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+# ``int.bit_count`` is 3.10+; CI also runs 3.9.  ``bin(x).count("1")`` is
+# the portable fallback and still operates on the whole word at once.
+if hasattr(int, "bit_count"):  # pragma: no branch
+    def _popcount(value: int) -> int:
+        return value.bit_count()
+else:  # pragma: no cover - exercised only on Python < 3.10
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
 
 class BitVector:
-    """A fixed-length sequence of bits.
+    """A fixed-length sequence of bits packed into one big integer.
 
     Parameters
     ----------
@@ -20,13 +51,13 @@ class BitVector:
         Length of the vector.  Must be positive.
     """
 
-    __slots__ = ("_num_bits", "_bytes")
+    __slots__ = ("_num_bits", "_value")
 
     def __init__(self, num_bits: int) -> None:
         if num_bits <= 0:
             raise ValueError(f"num_bits must be positive, got {num_bits}")
         self._num_bits = num_bits
-        self._bytes = bytearray((num_bits + 7) // 8)
+        self._value = 0
 
     # ------------------------------------------------------------------
     # Basic bit access
@@ -36,29 +67,31 @@ class BitVector:
         """Length of the vector in bits."""
         return self._num_bits
 
+    @property
+    def value(self) -> int:
+        """The packed integer (bit ``i`` of the vector = bit ``i`` here)."""
+        return self._value
+
     def _check_index(self, index: int) -> int:
-        if index < 0:
-            index += self._num_bits
-        if not 0 <= index < self._num_bits:
-            raise IndexError(
-                f"bit index {index} out of range for vector of {self._num_bits} bits"
-            )
-        return index
+        if -self._num_bits <= index < 0:
+            return index + self._num_bits
+        if 0 <= index < self._num_bits:
+            return index
+        raise IndexError(
+            f"bit index {index} out of range for vector of {self._num_bits} bits"
+        )
 
     def get(self, index: int) -> bool:
         """Return the bit at ``index``."""
-        index = self._check_index(index)
-        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+        return bool((self._value >> self._check_index(index)) & 1)
 
     def set(self, index: int) -> None:
         """Set the bit at ``index`` to 1."""
-        index = self._check_index(index)
-        self._bytes[index >> 3] |= 1 << (index & 7)
+        self._value |= 1 << self._check_index(index)
 
     def clear(self, index: int) -> None:
         """Set the bit at ``index`` to 0."""
-        index = self._check_index(index)
-        self._bytes[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+        self._value &= ~(1 << self._check_index(index))
 
     def __getitem__(self, index: int) -> bool:
         return self.get(index)
@@ -73,29 +106,41 @@ class BitVector:
         return self._num_bits
 
     def __iter__(self) -> Iterator[bool]:
-        for i in range(self._num_bits):
-            yield self.get(i)
+        value = self._value
+        for _ in range(self._num_bits):
+            yield bool(value & 1)
+            value >>= 1
+
+    # ------------------------------------------------------------------
+    # Mask operations — the hot-path membership primitives
+    # ------------------------------------------------------------------
+    def contains_mask(self, mask: int) -> bool:
+        """True if every bit of ``mask`` is set (one AND + one compare)."""
+        return (self._value & mask) == mask
+
+    def set_mask(self, mask: int) -> None:
+        """Set every bit of ``mask`` (one OR)."""
+        self._value |= mask
 
     # ------------------------------------------------------------------
     # Whole-vector operations
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Clear every bit."""
-        for i in range(len(self._bytes)):
-            self._bytes[i] = 0
+        self._value = 0
 
     def popcount(self) -> int:
         """Return the number of set bits."""
-        return sum(bin(byte).count("1") for byte in self._bytes)
+        return _popcount(self._value)
 
     def fill_ratio(self) -> float:
         """Return the fraction of bits that are set."""
-        return self.popcount() / self._num_bits
+        return _popcount(self._value) / self._num_bits
 
     def copy(self) -> "BitVector":
         """Return a deep copy of this vector."""
         clone = BitVector(self._num_bits)
-        clone._bytes[:] = self._bytes
+        clone._value = self._value
         return clone
 
     def _check_compatible(self, other: "BitVector") -> None:
@@ -110,58 +155,53 @@ class BitVector:
     def __or__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
         result = BitVector(self._num_bits)
-        result._bytes[:] = bytes(a | b for a, b in zip(self._bytes, other._bytes))
+        result._value = self._value | other._value
         return result
 
     def __and__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
         result = BitVector(self._num_bits)
-        result._bytes[:] = bytes(a & b for a, b in zip(self._bytes, other._bytes))
+        result._value = self._value & other._value
         return result
 
     def __xor__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
         result = BitVector(self._num_bits)
-        result._bytes[:] = bytes(a ^ b for a, b in zip(self._bytes, other._bytes))
+        result._value = self._value ^ other._value
         return result
 
     def __ior__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
-        for i, byte in enumerate(other._bytes):
-            self._bytes[i] |= byte
+        self._value |= other._value
         return self
 
     def __iand__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
-        for i, byte in enumerate(other._bytes):
-            self._bytes[i] &= byte
+        self._value &= other._value
         return self
 
     def __ixor__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
-        for i, byte in enumerate(other._bytes):
-            self._bytes[i] ^= byte
+        self._value ^= other._value
         return self
 
     def hamming_distance(self, other: "BitVector") -> int:
         """Return the number of bit positions where the vectors differ."""
         self._check_compatible(other)
-        return sum(
-            bin(a ^ b).count("1") for a, b in zip(self._bytes, other._bytes)
-        )
+        return _popcount(self._value ^ other._value)
 
     def is_subset_of(self, other: "BitVector") -> bool:
         """Return True if every set bit of this vector is also set in ``other``."""
         self._check_compatible(other)
-        return all((a & ~b) == 0 for a, b in zip(self._bytes, other._bytes))
+        return (self._value & ~other._value) == 0
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitVector):
             return NotImplemented
-        return self._num_bits == other._num_bits and self._bytes == other._bytes
+        return self._num_bits == other._num_bits and self._value == other._value
 
     def __hash__(self) -> int:
-        return hash((self._num_bits, bytes(self._bytes)))
+        return hash((self._num_bits, self._value))
 
     def __repr__(self) -> str:
         return f"BitVector(num_bits={self._num_bits}, set={self.popcount()})"
@@ -170,8 +210,12 @@ class BitVector:
     # Serialization
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize the vector payload (without the length)."""
-        return bytes(self._bytes)
+        """Serialize the vector payload (without the length).
+
+        Little-endian packing reproduces the historical layout exactly:
+        bit ``i`` lands at ``byte[i >> 3]``, position ``i & 7``.
+        """
+        return self._value.to_bytes((self._num_bits + 7) // 8, "little")
 
     @classmethod
     def from_bytes(cls, num_bits: int, payload: bytes) -> "BitVector":
@@ -183,5 +227,5 @@ class BitVector:
                 f"for {num_bits} bits"
             )
         vector = cls(num_bits)
-        vector._bytes[:] = payload
+        vector._value = int.from_bytes(payload, "little")
         return vector

@@ -5,14 +5,21 @@ stores locally in one :class:`BloomFilter`, then replicates the filter to
 other servers.  The filter therefore needs to be cheaply copyable,
 serializable, and comparable bit-by-bit (for the XOR-threshold update rule of
 paper Section 3.4).
+
+Hot path: membership tests go through the packed-mask primitives — the
+shared :class:`~repro.bloom.hashing.HashFamily` memoizes each key's probe
+mask, and :meth:`query` is then one big-int AND plus a compare against
+the packed :class:`~repro.bloom.bitvector.BitVector`.  The batched
+:meth:`contains_many` amortizes attribute lookups across a whole
+``VERIFY_BATCH`` (DESIGN.md §15).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
 from repro.bloom.bitvector import BitVector
-from repro.bloom.hashing import HashFamily
+from repro.bloom.hashing import HashFamily, shared_family
 from repro.bloom.analysis import false_positive_rate, optimal_num_hashes
 
 
@@ -35,7 +42,9 @@ class BloomFilter:
 
     def __init__(self, num_bits: int, num_hashes: int, seed: int = 0) -> None:
         self._bits = BitVector(num_bits)
-        self._hashes = HashFamily(num_hashes, num_bits, seed)
+        # Same-geometry filters share one family — and one probe cache —
+        # so a key hashed at one replica is free at every other.
+        self._hashes = shared_family(num_hashes, num_bits, seed)
         self._num_items = 0
 
     # ------------------------------------------------------------------
@@ -112,8 +121,7 @@ class BloomFilter:
     # ------------------------------------------------------------------
     def add(self, item: object) -> None:
         """Insert ``item`` into the filter."""
-        for index in self._hashes.indices(item):
-            self._bits.set(index)
+        self._bits.set_mask(self._hashes.mask(item))
         self._num_items += 1
 
     def update(self, items: Iterable[object]) -> None:
@@ -126,7 +134,24 @@ class BloomFilter:
 
     def query(self, item: object) -> bool:
         """Return True if ``item`` *may* be in the set (no false negatives)."""
-        return all(self._bits.get(index) for index in self._hashes.indices(item))
+        mask = self._hashes.mask(item)
+        return (self._bits.value & mask) == mask
+
+    def query_mask(self, mask: int) -> bool:
+        """Membership test for a precomputed probe mask (the batch path)."""
+        return (self._bits.value & mask) == mask
+
+    def contains_many(self, items: Sequence[object]) -> List[bool]:
+        """Batched membership: one pass, one answer per item.
+
+        Equivalent to ``[item in self for item in items]`` but hoists the
+        bit-vector and hash-family lookups out of the loop, so a whole
+        ``VERIFY_BATCH`` costs k hashes (amortized zero once cached) plus
+        one AND/compare per item.
+        """
+        value = self._bits.value
+        mask_of = self._hashes.mask
+        return [(value & (m := mask_of(item))) == m for item in items]
 
     def clear(self) -> None:
         """Remove all items (reset every bit)."""

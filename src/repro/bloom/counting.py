@@ -5,14 +5,21 @@ counting Bloom filters so that a replica's location record can be *deleted*
 when the replica migrates or its MDS departs.  Each position holds a small
 counter instead of a single bit; insertion increments, deletion decrements,
 and membership tests check that every counter is non-zero.
+
+Hot path: alongside the counter list the filter maintains ``_nonzero``, a
+packed big-int mirror with bit ``i`` set iff ``counters[i] > 0``.  A
+membership test is then identical to the plain filter's — one AND plus a
+compare against the memoized probe mask — instead of k list indexings
+(DESIGN.md §15).  The counters stay the source of truth; the mirror is
+updated on every zero-crossing.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
 
 from repro.bloom.bloom_filter import BloomFilter
-from repro.bloom.hashing import HashFamily
+from repro.bloom.hashing import HashFamily, shared_family
 
 
 class CountingBloomFilter:
@@ -32,7 +39,7 @@ class CountingBloomFilter:
         with negligible probability).
     """
 
-    __slots__ = ("_counters", "_hashes", "_num_items", "_max_count")
+    __slots__ = ("_counters", "_nonzero", "_hashes", "_num_items", "_max_count")
 
     def __init__(
         self,
@@ -46,7 +53,8 @@ class CountingBloomFilter:
         if counter_bits <= 0 or counter_bits > 16:
             raise ValueError(f"counter_bits must be in [1, 16], got {counter_bits}")
         self._counters: List[int] = [0] * num_counters
-        self._hashes = HashFamily(num_hashes, num_counters, seed)
+        self._nonzero = 0
+        self._hashes = shared_family(num_hashes, num_counters, seed)
         self._num_items = 0
         self._max_count = (1 << counter_bits) - 1
 
@@ -78,14 +86,32 @@ class CountingBloomFilter:
     def max_count(self) -> int:
         return self._max_count
 
+    @property
+    def nonzero_value(self) -> int:
+        """Packed mirror: bit ``i`` set iff ``counters[i] > 0``."""
+        return self._nonzero
+
+    def counters(self) -> List[int]:
+        """A copy of the raw counter array (the source of truth)."""
+        return list(self._counters)
+
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
     def add(self, item: object) -> None:
         """Insert ``item``, incrementing (saturating) its counters."""
-        for index in self._hashes.indices(item):
-            if self._counters[index] < self._max_count:
-                self._counters[index] += 1
+        counters = self._counters
+        max_count = self._max_count
+        # Mirror bits flip only on 0 -> 1 transitions (not a blanket mask
+        # OR): duplicate indices in one probe sequence can leave a counter
+        # at zero after an increment, and the mirror must agree with the
+        # per-counter truth ``count > 0`` in that corner too.
+        for index in self._hashes.probe(item)[0]:
+            count = counters[index]
+            if count < max_count:
+                counters[index] = count + 1
+                if count == 0:
+                    self._nonzero |= 1 << index
         self._num_items += 1
 
     def update(self, items: Iterable[object]) -> None:
@@ -103,14 +129,21 @@ class CountingBloomFilter:
             collide is undetectable — that is inherent to counting filters —
             but deleting an item whose counters are zero is always an error.
         """
-        indices = self._hashes.indices(item)
-        if any(self._counters[i] == 0 for i in indices):
+        indices = self._hashes.probe(item)[0]
+        counters = self._counters
+        # The exact per-counter check, not the mirror: the historical
+        # contract raises only when some counter is exactly zero.
+        if any(counters[i] == 0 for i in indices):
             raise KeyError(f"item not present in counting filter: {item!r}")
+        max_count = self._max_count
         for index in indices:
             # Saturated counters cannot be decremented safely: the true count
             # is unknown.  Leaving them saturated keeps false negatives out.
-            if self._counters[index] < self._max_count:
-                self._counters[index] -= 1
+            count = counters[index]
+            if count < max_count:
+                counters[index] = count - 1
+                if count == 1:
+                    self._nonzero &= ~(1 << index)
         self._num_items = max(0, self._num_items - 1)
 
     def discard(self, item: object) -> bool:
@@ -126,7 +159,18 @@ class CountingBloomFilter:
 
     def query(self, item: object) -> bool:
         """Return True if ``item`` *may* be present."""
-        return all(self._counters[i] > 0 for i in self._hashes.indices(item))
+        mask = self._hashes.probe(item)[1]
+        return (self._nonzero & mask) == mask
+
+    def query_mask(self, mask: int) -> bool:
+        """Membership test for a precomputed probe mask (the batch path)."""
+        return (self._nonzero & mask) == mask
+
+    def contains_many(self, items: Sequence[object]) -> List[bool]:
+        """Batched membership: one AND/compare per item."""
+        nonzero = self._nonzero
+        probe = self._hashes.probe
+        return [(nonzero & (m := probe(item)[1])) == m for item in items]
 
     def contains_indices(self, indices: List[int]) -> bool:
         """Membership test with precomputed indices (shared-family probes)."""
@@ -138,11 +182,12 @@ class CountingBloomFilter:
         This is an upper bound on the number of times ``item`` was added
         (the count-min sketch estimate restricted to this filter).
         """
-        return min(self._counters[i] for i in self._hashes.indices(item))
+        return min(self._counters[i] for i in self._hashes.probe(item)[0])
 
     def clear(self) -> None:
         for i in range(len(self._counters)):
             self._counters[i] = 0
+        self._nonzero = 0
         self._num_items = 0
 
     # ------------------------------------------------------------------
@@ -151,9 +196,7 @@ class CountingBloomFilter:
     def to_bloom_filter(self) -> BloomFilter:
         """Project to a plain Bloom filter (counter > 0 → bit set)."""
         bloom = BloomFilter(self.num_counters, self.num_hashes, self.seed)
-        for index, count in enumerate(self._counters):
-            if count > 0:
-                bloom.bits.set(index)
+        bloom.bits.set_mask(self._nonzero)
         bloom._num_items = self._num_items
         return bloom
 
@@ -168,6 +211,7 @@ class CountingBloomFilter:
         )
         clone._max_count = self._max_count
         clone._counters = list(self._counters)
+        clone._nonzero = self._nonzero
         clone._num_items = self._num_items
         return clone
 

@@ -223,6 +223,7 @@ def restore(document: Dict[str, Any], seed: int = 0) -> GHBACluster:
     # its bootstrap state with the serialized one.
     cluster = GHBACluster(1, config, seed=seed)
     cluster.servers.clear()
+    cluster._sorted_ids.clear()
     cluster.groups.clear()
     cluster._group_of.clear()
     cluster._crashed_stores.clear()
@@ -232,12 +233,13 @@ def restore(document: Dict[str, Any], seed: int = 0) -> GHBACluster:
     for entry in document["servers"]:
         server = restore_server(entry, config)
         cluster.servers[server.server_id] = server
+    cluster._sorted_ids.extend(sorted(cluster.servers))
 
     for entry in document["groups"]:
         group = Group(entry["group_id"])
         for member_id in entry["members"]:
             group.idbfa.add_member(member_id)
-            group._members[member_id] = cluster.servers[member_id]
+            group.adopt_member(cluster.servers[member_id])
             cluster._group_of[member_id] = group.group_id
         for replica_id, host in entry["placements"].items():
             group.idbfa.place(int(replica_id), host)

@@ -258,6 +258,11 @@ class GHBACluster:
         self._next_server_id = 0
         self._next_group_id = 0
         self.servers: Dict[int, MetadataServer] = {}
+        #: Sorted server IDs, maintained incrementally — the query path
+        #: draws a random origin from this list every call and must not
+        #: pay an O(N log N) sort per lookup.  IDs are monotonic, so
+        #: additions append in order.
+        self._sorted_ids: List[int] = []
         self.groups: Dict[int, Group] = {}
         self._group_of: Dict[int, int] = {}
         # Observability: tracer + metrics registry (repro.obs).
@@ -301,10 +306,15 @@ class GHBACluster:
         self._messages = m.counter(
             "ghba_messages_total", "Network messages sent on the query path."
         )
+        # Unlabeled child caches, resolved on first increment: ``labels()``
+        # *creates* the child, and an eagerly-created zero child would be
+        # visible in metric dumps before any event occurred.
+        self._messages_child = None
         self._false_forwards_counter = m.counter(
             "ghba_false_forwards_total",
             "Unique Bloom hits that misrouted a query.",
         )
+        self._false_forwards_child = None
         self._server_served = m.counter(
             "ghba_server_queries_served_total",
             "Queries served, by home server.",
@@ -342,6 +352,21 @@ class GHBACluster:
             "ghba_degraded_queries_total",
             "Queries that lost multicast legs to faults and degraded.",
         )
+        self._degraded_child = None
+        # Lazy child caches for the labeled families the query path hits on
+        # every lookup.  ``labels()`` re-derives the child key (tuple build
+        # + str conversion + dict probe) per call; caching the child object
+        # keyed by the raw label value makes a repeat increment one dict
+        # get.  Children are still created on first use only, so counter
+        # snapshots (``as_dict``) list exactly the series that were
+        # actually incremented — identical to calling ``labels()`` inline.
+        self._level_children: Dict[QueryLevel, object] = {}
+        self._origin_children: Dict[int, object] = {}
+        self._served_children: Dict[int, object] = {}
+        self._forward_children: Dict[int, object] = {}
+        self._false_children: Dict[int, object] = {}
+        self._group_served_children: Dict[int, object] = {}
+        self._group_multicast_children: Dict[int, object] = {}
 
     # Read-through views kept for the pre-registry API.
     @property
@@ -370,6 +395,7 @@ class GHBACluster:
             self._next_server_id, self.config, metrics=self.metrics
         )
         self.servers[server.server_id] = server
+        self._sorted_ids.append(server.server_id)
         self._next_server_id += 1
         return server
 
@@ -398,7 +424,7 @@ class GHBACluster:
             group = self._new_group()
             for server_id in server_ids[cursor : cursor + size]:
                 group.idbfa.add_member(server_id)
-                group._members[server_id] = self.servers[server_id]
+                group.adopt_member(self.servers[server_id])
                 self._group_of[server_id] = group.group_id
             cursor += size
         for group in self.groups.values():
@@ -423,7 +449,7 @@ class GHBACluster:
         return self.groups[self._group_of[server_id]]
 
     def server_ids(self) -> List[int]:
-        return sorted(self.servers)
+        return list(self._sorted_ids)
 
     def home_of(self, path: str) -> Optional[int]:
         """Ground-truth home MDS of ``path`` (None if nonexistent)."""
@@ -494,7 +520,7 @@ class GHBACluster:
     ) -> int:
         """Store ``meta`` on ``home_id`` (random MDS when omitted)."""
         if home_id is None:
-            home_id = self._rng.choice(sorted(self.servers))
+            home_id = self._rng.choice(self._sorted_ids)
         self.servers[home_id].insert_metadata(meta)
         self._bump_path_version(meta.path)
         if self._mutation_listeners:
@@ -671,10 +697,19 @@ class GHBACluster:
         """
         net = self.config.network
         if origin_id is None:
-            origin_id = self._rng.choice(sorted(self.servers))
+            origin_id = self._rng.choice(self._sorted_ids)
         origin = self.servers[origin_id]
-        span = self.tracer.start_span(path, origin_id)
-        latency = net.queueing_ms(outstanding)
+        # Span events cost kwargs construction even against the null span,
+        # so every hop() call site is guarded: with tracing off the walk
+        # emits nothing at all (the zero-overhead discipline).
+        traced = self.tracer.enabled
+        span = self.tracer.start_span(path, origin_id) if traced else None
+        # The elementary costs are pure functions of fixed inputs, so one
+        # evaluation serves every charge site bit-identically.
+        mpm = net.memory_probe_ms
+        q_ms = net.queueing_ms(outstanding)
+        rtt = net.round_trip_ms()
+        latency = q_ms
         checkpoint = 0.0  # latency already attributed to a span event
         messages = 0
         false_forwards = 0
@@ -702,7 +737,8 @@ class GHBACluster:
                     if hints:
                         messages += hints
                         self._lru_hints.inc(hints)
-                        hop("lru_hint", msg=hints)
+                        if traced:
+                            hop("lru_hint", msg=hints)
             result = QueryResult(
                 path=path,
                 home_id=home,
@@ -714,33 +750,61 @@ class GHBACluster:
                 degraded=degraded,
             )
             if degraded:
-                self._degraded_queries.inc()
-            self._queries_by_level.labels(level.label).inc()
+                child = self._degraded_child
+                if child is None:
+                    child = self._degraded_queries.labels()
+                    self._degraded_child = child
+                child.inc()
+            child = self._level_children.get(level)
+            if child is None:
+                child = self._queries_by_level.labels(level.label)
+                self._level_children[level] = child
+            child.inc()
             self._latency_child.observe(latency)
             if messages:
-                self._messages.inc(messages)
+                child = self._messages_child
+                if child is None:
+                    child = self._messages.labels()
+                    self._messages_child = child
+                child.inc(messages)
             if false_forwards:
-                self._false_forwards_counter.inc(false_forwards)
-            self._server_origin.labels(origin_id).inc()
+                child = self._false_forwards_child
+                if child is None:
+                    child = self._false_forwards_counter.labels()
+                    self._false_forwards_child = child
+                child.inc(false_forwards)
+            child = self._origin_children.get(origin_id)
+            if child is None:
+                child = self._server_origin.labels(origin_id)
+                self._origin_children[origin_id] = child
+            child.inc()
             if home is not None:
-                self._server_served.labels(home).inc()
-                self._group_served.labels(self._group_of[home]).inc()
-            span.finish(
-                level.label, home, latency, messages, false_forwards
-            )
+                child = self._served_children.get(home)
+                if child is None:
+                    child = self._server_served.labels(home)
+                    self._served_children[home] = child
+                child.inc()
+                group_id = self._group_of[home]
+                child = self._group_served_children.get(group_id)
+                if child is None:
+                    child = self._group_served.labels(group_id)
+                    self._group_served_children[group_id] = child
+                child.inc()
+            if traced:
+                span.finish(
+                    level.label, home, latency, messages, false_forwards
+                )
             return result
 
         def verify_at(server: MetadataServer) -> Optional[FileMetadata]:
             """Home-MDS verification: filter probe, then store access."""
             nonlocal latency
-            latency += net.memory_probe_ms
-            if not server.local_filter.query(path):
+            latency += mpm
+            local = server.local_filter
+            mask = local._hashes.mask(path)
+            if (local._bits._value & mask) != mask:
                 return None
-            meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
-            latency += (
-                meta_fraction * net.memory_record_ms
-                + (1.0 - meta_fraction) * net.disk_access_ms
-            )
+            latency += server.fetch_penalty_cached(net)
             return server.store.get(path)
 
         def forward_and_verify(target_id: int) -> Optional[FileMetadata]:
@@ -751,81 +815,120 @@ class GHBACluster:
                 if not reachable:
                     # The forward times out: one request on the wire, no
                     # reply; the query degrades to the next level.
-                    latency += net.round_trip_ms() + net.queueing_ms(outstanding)
+                    latency += rtt + q_ms
                     messages += 1
                     degraded = True
-                    hop("forward_timeout", target=target_id)
+                    if traced:
+                        hop("forward_timeout", target=target_id)
                     return None
-            self._server_forwards.labels(target_id).inc()
+            child = self._forward_children.get(target_id)
+            if child is None:
+                child = self._server_forwards.labels(target_id)
+                self._forward_children[target_id] = child
+            child.inc()
             if target_id != origin_id:
-                latency += net.round_trip_ms() + net.queueing_ms(outstanding)
+                latency += rtt + q_ms
                 messages += 2
-                hop("forward", target=target_id, msg=2)
+                if traced:
+                    hop("forward", target=target_id, msg=2)
             meta = verify_at(self.servers[target_id])
-            hop("verify", target=target_id, found=meta is not None)
+            if traced:
+                hop("verify", target=target_id, found=meta is not None)
             if meta is None:
-                self._server_false.labels(target_id).inc()
-                hop("false_forward", target=target_id)
+                child = self._false_children.get(target_id)
+                if child is None:
+                    child = self._server_false.labels(target_id)
+                    self._false_children[target_id] = child
+                child.inc()
+                if traced:
+                    hop("false_forward", target=target_id)
             return meta
 
         # ---- L1: local LRU Bloom filter array -------------------------
-        latency += net.memory_probe_ms * max(1, origin.lru.num_filters)
+        latency += mpm * max(1, len(origin.lru._filters))
         l1 = origin.probe_lru(path)
-        hop("l1_probe", target=origin_id, hits=len(l1.hits))
-        if l1.is_unique:
-            meta = forward_and_verify(l1.unique_hit)
+        if traced:
+            hop("l1_probe", target=origin_id, hits=len(l1.hits))
+        if len(l1.hits) == 1:
+            l1_hit = l1.hits[0]
+            meta = forward_and_verify(l1_hit)
             if meta is not None:
-                return finish(QueryLevel.L1, l1.unique_hit)
+                return finish(QueryLevel.L1, l1_hit)
             false_forwards += 1
             origin.lru.invalidate(path)
 
         # ---- L2: local segment Bloom filter array ----------------------
-        replica_fraction = origin.replica_memory_fraction()
-        latency += net.probe_cost_ms(origin.theta, replica_fraction)
-        latency += net.memory_probe_ms  # own local filter
+        latency += origin.probe_cost_cached(net)
+        latency += mpm  # own local filter
         l2 = origin.probe_segment(path)
-        hop("l2_probe", target=origin_id, hits=len(l2.hits))
-        if l2.is_unique:
-            meta = forward_and_verify(l2.unique_hit)
+        if traced:
+            hop("l2_probe", target=origin_id, hits=len(l2.hits))
+        if len(l2.hits) == 1:
+            l2_hit = l2.hits[0]
+            meta = forward_and_verify(l2_hit)
             if meta is not None:
-                return finish(QueryLevel.L2, l2.unique_hit)
+                return finish(QueryLevel.L2, l2_hit)
             false_forwards += 1
 
         # ---- L3: multicast within the group ----------------------------
         group = self.group_of(origin_id)
-        peers = [m for m in group.member_ids() if m != origin_id]
-        lost_peers: List[int] = []
-        if faults.enabled and peers:
-            peers, lost_peers = faults.filter_targets(origin_id, peers)
-        latency += net.group_multicast_ms(group.size) + net.queueing_ms(outstanding)
-        # Requests go to every peer; only the reachable ones reply.
-        messages += (group.size - 1) + len(peers)
-        if lost_peers:
-            degraded = True
-            latency += net.round_trip_ms()  # waited out the silent members
-        member_costs = [
-            net.probe_cost_ms(member.theta, member.replica_memory_fraction())
-            + net.memory_probe_ms
-            for member in group.members()
-            if member.server_id != origin_id
-            and member.server_id not in lost_peers
-        ]
-        if member_costs:
-            latency += max(member_costs)
-        l3 = group.multicast_query(path, member_ids=[origin_id] + peers)
-        self._group_multicasts.labels(group.group_id).inc()
-        l3_detail = {"lost": len(lost_peers)} if lost_peers else {}
-        hop(
-            "group_multicast",
-            target=group.group_id,
-            msg=(group.size - 1) + len(peers),
-            hits=len(l3.hits),
-            **l3_detail,
-        )
-        if l3.is_unique:
-            meta = forward_and_verify(l3.unique_hit)
+        latency += net.group_multicast_ms(group.size) + q_ms
+        if faults.enabled:
+            peers = [m for m in group.member_ids() if m != origin_id]
+            lost_peers: List[int] = []
+            if peers:
+                peers, lost_peers = faults.filter_targets(origin_id, peers)
+            # Requests go to every peer; only the reachable ones reply.
+            messages += (group.size - 1) + len(peers)
+            if lost_peers:
+                degraded = True
+                latency += rtt  # waited out the silent members
+            num_reached = len(peers)
+        else:
+            # Fault-free fast path: every peer is reached, so the reply
+            # count mirrors the request count and the fused full-group
+            # probe plan applies without a reachability restriction.
+            peers = None
+            lost_peers = ()
+            messages += 2 * (group.size - 1)
+            num_reached = group.size - 1
+        # The multicast waits for the slowest responding member:
+        # max(probe_cost + memory_probe_ms) == max(probe_cost) +
+        # memory_probe_ms since IEEE addition of a shared constant is
+        # monotonic, so the memoized bare costs compare directly.
+        worst_cost = -1.0
+        for member in group.iter_members():
+            sid = member.server_id
+            if sid == origin_id or sid in lost_peers:
+                continue
+            cost = member.probe_cost_cached(net)
+            if cost > worst_cost:
+                worst_cost = cost
+        if worst_cost >= 0.0:
+            latency += worst_cost + mpm
+        if peers is None:
+            l3 = group.multicast_query(path)
+        else:
+            l3 = group.multicast_query(path, member_ids=[origin_id] + peers)
+        child = self._group_multicast_children.get(group.group_id)
+        if child is None:
+            child = self._group_multicasts.labels(group.group_id)
+            self._group_multicast_children[group.group_id] = child
+        child.inc()
+        if traced:
+            l3_detail = {"lost": len(lost_peers)} if lost_peers else {}
+            hop(
+                "group_multicast",
+                target=group.group_id,
+                msg=(group.size - 1) + num_reached,
+                hits=len(l3.hits),
+                **l3_detail,
+            )
+        if len(l3.hits) == 1:
+            l3_hit = l3.hits[0]
+            meta = forward_and_verify(l3_hit)
             if meta is not None:
-                return finish(QueryLevel.L3, l3.unique_hit)
+                return finish(QueryLevel.L3, l3_hit)
             false_forwards += 1
 
         # ---- L4: global multicast ---------------------------------------
@@ -834,16 +937,16 @@ class GHBACluster:
         if faults.enabled and others:
             others, lost_nodes = faults.filter_targets(origin_id, others)
         latency += net.global_multicast_ms(self.num_servers)
-        latency += net.queueing_ms(outstanding)
+        latency += q_ms
         # Requests go to every other MDS; only the reachable ones reply.
         messages += (self.num_servers - 1) + len(others)
         if lost_nodes:
             degraded = True
-            latency += net.round_trip_ms()  # waited out the silent nodes
+            latency += rtt  # waited out the silent nodes
         # Every reached MDS checks its local filter (memory); positive ones
         # verify against their store.  All run concurrently: charge the
         # slowest.
-        verify_costs = [net.memory_probe_ms]
+        verify_costs = [mpm]
         found_home: Optional[int] = None
         for server_id in [origin_id] + others:
             server = self.servers[server_id]
@@ -858,13 +961,14 @@ class GHBACluster:
             if server.store.get(path) is not None:
                 found_home = server.server_id
         latency += max(verify_costs)
-        l4_detail = {"lost": len(lost_nodes)} if lost_nodes else {}
-        hop(
-            "global_multicast",
-            msg=(self.num_servers - 1) + len(others),
-            found=found_home is not None,
-            **l4_detail,
-        )
+        if traced:
+            l4_detail = {"lost": len(lost_nodes)} if lost_nodes else {}
+            hop(
+                "global_multicast",
+                msg=(self.num_servers - 1) + len(others),
+                found=found_home is not None,
+                **l4_detail,
+            )
         if found_home is not None:
             return finish(QueryLevel.L4, found_home)
         return finish(QueryLevel.NEGATIVE, None)
@@ -906,18 +1010,25 @@ class GHBACluster:
         server = self.servers[server_id]
         latency = net.round_trip_ms() + net.queueing_ms(outstanding)
         meta_fraction = server.memory.resident_fraction(CONSUMER_METADATA)
+        record_cost = (
+            meta_fraction * net.memory_record_ms
+            + (1.0 - meta_fraction) * net.disk_access_ms
+        )
+        # One pass over the local filter for the whole batch, then store
+        # lookups only for the (possible) positives.
+        latency += net.memory_probe_ms * len(paths)
+        results = result.results
+        store_get = server.store.get
+        for path, maybe in zip(paths, server.local_filter.contains_many(paths)):
+            if maybe:
+                latency += record_cost
+                results[path] = store_get(path)
+            else:
+                results[path] = None
+        versions = result.versions
+        path_versions = self._path_versions
         for path in paths:
-            latency += net.memory_probe_ms
-            if not server.local_filter.query(path):
-                result.results[path] = None
-                continue
-            latency += (
-                meta_fraction * net.memory_record_ms
-                + (1.0 - meta_fraction) * net.disk_access_ms
-            )
-            result.results[path] = server.store.get(path)
-        for path in paths:
-            result.versions[path] = self._path_versions.get(path, 0)
+            versions[path] = path_versions.get(path, 0)
         result.messages = 2
         result.latency_ms = latency
         self._messages.inc(2)
@@ -1327,7 +1438,7 @@ class GHBACluster:
         # Step 2: insert them into the new group.
         for member in moved_servers:
             new_group.idbfa.add_member(member.server_id)
-            new_group._members[member.server_id] = member
+            new_group.adopt_member(member)
             self._group_of[member.server_id] = new_group.group_id
         # Step 3: the new group must rebuild a full mirror — a replica of
         # every server outside it.  With M = 1 no members moved, so the
@@ -1374,6 +1485,7 @@ class GHBACluster:
             report.messages += len(orphaned)
         del self._group_of[server_id]
         del self.servers[server_id]
+        self._sorted_ids.remove(server_id)
         # (2)+(3) every other group deletes the departing server's replica
         # and rebalances the freed load across its members.
         for other in self.groups.values():
@@ -1455,10 +1567,8 @@ class GHBACluster:
         hosted = list(self.servers[server_id].hosted_replicas())
         if group.size > 1:
             # Drop without migration (the node is gone), then re-fetch.
-            failed = group.get_member(server_id)
-            del group._members[server_id]
+            group.abandon_member(server_id)
             group.idbfa.remove_member(server_id)
-            del failed  # its state is unreachable
             for home_id in hosted:
                 replica = self.servers[home_id].published_filter.copy()
                 group.install_replica(home_id, replica)
@@ -1469,6 +1579,7 @@ class GHBACluster:
             del self.groups[group.group_id]
         del self._group_of[server_id]
         del self.servers[server_id]
+        self._sorted_ids.remove(server_id)
         for other in self.groups.values():
             if server_id in other.hosted_replica_ids():
                 other.remove_replica(server_id)

@@ -47,6 +47,12 @@ class Group:
         self.group_id = group_id
         self._members: Dict[int, MetadataServer] = {}
         self.idbfa = IDBloomFilterArray()
+        # Fused L3 probe plan: a flattened (member, bit-vector, home-id)
+        # view of every member's segment array, rebuilt lazily whenever
+        # membership or any member's segment version changes.
+        self._probe_plan: Optional[tuple] = None
+        self._membership_version = 0
+        self._member_ids_cache: Optional[Tuple[int, List[int]]] = None
         if metrics is not None:
             self._update_messages = metrics.counter(
                 "ghba_replica_update_messages_total",
@@ -71,10 +77,19 @@ class Group:
         return len(self._members)
 
     def member_ids(self) -> List[int]:
-        return sorted(self._members)
+        cache = self._member_ids_cache
+        if cache is None or cache[0] != self._membership_version:
+            cache = (self._membership_version, sorted(self._members))
+            self._member_ids_cache = cache
+        return list(cache[1])
 
     def members(self) -> List[MetadataServer]:
-        return [self._members[mid] for mid in self.member_ids()]
+        members = self._members
+        return [members[mid] for mid in self.member_ids()]
+
+    def iter_members(self) -> Iterable[MetadataServer]:
+        """Members in arbitrary order, without building a sorted list."""
+        return self._members.values()
 
     def get_member(self, server_id: int) -> MetadataServer:
         try:
@@ -173,6 +188,29 @@ class Group:
     # ------------------------------------------------------------------
     # Membership changes (light-weight migration, Section 3.1)
     # ------------------------------------------------------------------
+    def adopt_member(self, server: MetadataServer) -> None:
+        """Raw membership insert: bookkeeping only, no replica migration.
+
+        Every path that makes ``server`` a member — including cluster
+        formation, group splits, and checkpoint restore — must come through
+        here (or :meth:`add_member`, which calls this) so the membership
+        version, the member-ID cache, and the fused L3 probe plan stay
+        coherent.  The group also registers itself on the server: replica
+        installs/updates/drops on any member push-invalidate the plan.
+        """
+        self._members[server.server_id] = server
+        self._membership_version += 1
+        server._plan_owners.append(self)
+        self._probe_plan = None
+
+    def abandon_member(self, server_id: int) -> MetadataServer:
+        """Raw membership removal: bookkeeping only, no replica migration."""
+        server = self._members.pop(server_id)
+        self._membership_version += 1
+        server._plan_owners.remove(self)
+        self._probe_plan = None
+        return server
+
     def add_member(self, server: MetadataServer, total_servers: int) -> int:
         """Add ``server`` to the group, offloading replicas onto it.
 
@@ -189,7 +227,7 @@ class Group:
             raise GroupError("joining server must not host replicas yet")
         old_size = self.size
         self.idbfa.add_member(server.server_id)
-        self._members[server.server_id] = server
+        self.adopt_member(server)
         if old_size == 0:
             return 0
         # Replicas the group hosts after the join: every server outside it.
@@ -225,7 +263,7 @@ class Group:
                 "dissolve the group instead"
             )
         hosted = list(server.hosted_replicas())
-        del self._members[server_id]
+        self.abandon_member(server_id)
         self.idbfa.remove_member(server_id)
         migrated = 0
         for home_id in hosted:
@@ -266,7 +304,7 @@ class Group:
             for home_id in list(member.hosted_replicas()):
                 replicas.append((home_id, member.drop_replica(home_id)))
         for server_id in self.member_ids():
-            del self._members[server_id]
+            self.abandon_member(server_id)
         self.idbfa = IDBloomFilterArray()
         return replicas
 
@@ -284,17 +322,82 @@ class Group:
         to the members a (possibly faulty) multicast actually reached; the
         default probes everyone.
         """
-        hits: set = set()
+        if member_ids is not None:
+            ids = list(member_ids)
+            if len(ids) != len(self._members) or set(ids) != self._members.keys():
+                # Partial multicast (fault-restricted): probe just the
+                # reachable members, outside the fused plan.
+                hits: set = set()
+                probes = 0
+                for mid in ids:
+                    probes += self._members[mid].probe_segment_into(path, hits)
+                return ArrayLookup(hits=tuple(sorted(hits)), probes=probes)
+        plan = self._probe_plan
+        if plan is None:
+            plan = self._build_probe_plan()
+        entries, family = plan
+        hits = set()
         probes = 0
-        if member_ids is None:
-            members = self.members()
-        else:
-            members = [self._members[mid] for mid in member_ids]
-        for member in members:
-            lookup = member.probe_segment(path)
-            hits.update(lookup.hits)
-            probes += lookup.probes
+        if family is None:
+            # Mixed hash geometries: fall back to per-member probes.
+            for member, _pairs, _member_probes, _counter in entries:
+                probes += member.probe_segment_into(path, hits)
+            return ArrayLookup(hits=tuple(sorted(hits)), probes=probes)
+        mask = family.mask(path)
+        add_hit = hits.add
+        for member, pairs, member_probes, counter in entries:
+            if counter is not None:
+                counter.inc()
+            for bits, home_id in pairs:
+                if (bits._value & mask) == mask:
+                    add_hit(home_id)
+            # The local filter can be swapped wholesale (rebuilds, restore
+            # from checkpoint), so fetch it fresh and re-check its family.
+            local = member.local_filter
+            if local._hashes is family:
+                if (local._bits._value & mask) == mask:
+                    add_hit(member.server_id)
+            elif local.query(path):
+                add_hit(member.server_id)
+            probes += member_probes
         return ArrayLookup(hits=tuple(sorted(hits)), probes=probes)
+
+    def _build_probe_plan(self) -> tuple:
+        """Flatten the members' segment arrays for the fused L3 probe.
+
+        The plan pairs each member with ``(bit-vector, home_id)`` tuples for
+        every replica it hosts; when all filters share one (interned) hash
+        family the multicast becomes one mask computation plus one AND and
+        compare per replica.  Plans are push-invalidated: membership changes
+        (:meth:`adopt_member` / :meth:`abandon_member`) and replica
+        installs/updates/drops on any member (which funnel through
+        ``MetadataServer.host_replica`` and friends) null ``_probe_plan``,
+        so a non-None plan is always current and queries skip validation
+        entirely.
+        """
+        family = None
+        fused = True
+        entries = []
+        for mid in sorted(self._members):
+            member = self._members[mid]
+            pairs = []
+            for home_id, bloom in member.segment._filters.items():
+                if family is None:
+                    family = bloom._hashes
+                elif bloom._hashes is not family:
+                    fused = False
+                pairs.append((bloom._bits, home_id))
+            local_family = member.local_filter._hashes
+            if family is None:
+                family = local_family
+            elif local_family is not family:
+                fused = False
+            entries.append(
+                (member, tuple(pairs), len(pairs) + 1, member._l2_probe_counter)
+            )
+        plan = (entries, family if fused else None)
+        self._probe_plan = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Invariant checking (used heavily in tests)

@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 
 class QueryLevel(enum.Enum):
@@ -27,9 +26,12 @@ class QueryLevel(enum.Enum):
         return self.name if self is not QueryLevel.NEGATIVE else "L4-negative"
 
 
-@dataclass(frozen=True)
-class QueryResult:
+class QueryResult(NamedTuple):
     """Outcome of one metadata lookup.
+
+    One of these is allocated per lookup on the hot path; a NamedTuple
+    keeps it immutable while constructing through ``tuple.__new__``
+    instead of per-field ``object.__setattr__``.
 
     Attributes
     ----------

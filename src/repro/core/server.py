@@ -91,6 +91,9 @@ class MetadataServer:
             policy=config.lru_policy,
         )
         self.segment = BloomFilterArray()
+        #: Groups holding a fused L3 probe plan over this server's segment;
+        #: replica mutations push-invalidate their plans (see Group).
+        self._plan_owners: List[object] = []
         self.memory = MemoryModel(config.memory_budget_bytes, config.memory_mode)
         self._metadata_bytes = 0
         #: Snapshot of the local filter as last replicated to remote groups;
@@ -112,6 +115,17 @@ class MetadataServer:
         #: Mutations this server actually applied (not deduped, not noop) —
         #: the observable the at-most-once tests assert on.
         self.writeback_applied = 0
+        # Latency-model memos for the query hot path.  Both are keyed on
+        # the identity of the MemoryModel's residency dict — a fresh dict
+        # object appears whenever any consumer (and hence theta) or the
+        # budget changes, so identity doubles as a version token.
+        self._probe_cost_token: Optional[Dict[str, float]] = None
+        self._probe_cost_net: object = None
+        self._probe_cost_ms = 0.0
+        self._fetch_penalty_token: Optional[Dict[str, float]] = None
+        self._fetch_penalty_net: object = None
+        self._fetch_penalty_ms = 0.0
+        self._empty_segment_lookup: Optional[ArrayLookup] = None
         self._refresh_memory_accounting()
 
     # ------------------------------------------------------------------
@@ -134,6 +148,35 @@ class MetadataServer:
     def replica_memory_fraction(self) -> float:
         """Fraction of this MDS's replica array that is memory-resident."""
         return self.memory.resident_fraction(CONSUMER_REPLICAS)
+
+    def probe_cost_cached(self, net) -> float:
+        """Memoized ``net.probe_cost_ms(theta, replica residency)``.
+
+        Bit-identical to recomputing: the memo key is the residency dict's
+        identity, and every path that changes theta or residency refreshes
+        the memory accounting, which mints a new dict.
+        """
+        token = self.memory._residency()
+        if token is not self._probe_cost_token or net is not self._probe_cost_net:
+            self._probe_cost_ms = net.probe_cost_ms(
+                len(self.segment), token[CONSUMER_REPLICAS]
+            )
+            self._probe_cost_token = token
+            self._probe_cost_net = net
+        return self._probe_cost_ms
+
+    def fetch_penalty_cached(self, net) -> float:
+        """Memoized metadata-fetch latency (memory/disk blend) at this MDS."""
+        token = self.memory._residency()
+        if token is not self._fetch_penalty_token or net is not self._fetch_penalty_net:
+            fraction = token[CONSUMER_METADATA]
+            self._fetch_penalty_ms = (
+                fraction * net.memory_record_ms
+                + (1.0 - fraction) * net.disk_access_ms
+            )
+            self._fetch_penalty_token = token
+            self._fetch_penalty_net = net
+        return self._fetch_penalty_ms
 
     # ------------------------------------------------------------------
     # Home-metadata management
@@ -216,11 +259,35 @@ class MetadataServer:
         """L2 probe: the local filter plus every replica assigned here."""
         if self._l2_probe_counter is not None:
             self._l2_probe_counter.inc()
-        lookup = self.segment.query(path)
-        hits = list(lookup.hits)
-        if self.local_filter.query(path):
-            hits.append(self.server_id)
-        return ArrayLookup(hits=tuple(sorted(hits)), probes=lookup.probes + 1)
+        hits: set = set()
+        probes = self.segment.query_into(path, hits) + 1
+        local = self.local_filter
+        mask = local._hashes.mask(path)
+        if (local._bits.value & mask) == mask:
+            hits.add(self.server_id)
+        if hits:
+            return ArrayLookup(hits=tuple(sorted(hits)), probes=probes)
+        empty = self._empty_segment_lookup
+        if empty is None or empty.probes != probes:
+            empty = ArrayLookup(hits=(), probes=probes)
+            self._empty_segment_lookup = empty
+        return empty
+
+    def probe_segment_into(self, path: str, hits: set) -> int:
+        """Fused L2 probe for the L3 multicast: union hits into ``hits``.
+
+        Increments the same probe counter and contributes the same hit set
+        as :meth:`probe_segment`, but skips the per-member result
+        allocation — the multicast only needs the union (DESIGN.md §15).
+        """
+        if self._l2_probe_counter is not None:
+            self._l2_probe_counter.inc()
+        probes = self.segment.query_into(path, hits)
+        local = self.local_filter
+        mask = local._hashes.mask(path)
+        if (local._bits.value & mask) == mask:
+            hits.add(self.server_id)
+        return probes + 1
 
     def record_lru(self, path: str, home_id: int) -> None:
         """Feed a resolved lookup back into the L1 array."""
@@ -231,15 +298,21 @@ class MetadataServer:
     # ------------------------------------------------------------------
     def host_replica(self, home_id: int, replica: BloomFilter) -> None:
         self.segment.add_replica(home_id, replica)
+        for group in self._plan_owners:
+            group._probe_plan = None
         self._refresh_memory_accounting()
 
     def drop_replica(self, home_id: int) -> BloomFilter:
         replica = self.segment.remove_replica(home_id)
+        for group in self._plan_owners:
+            group._probe_plan = None
         self._refresh_memory_accounting()
         return replica
 
     def replace_replica(self, home_id: int, replica: BloomFilter) -> None:
         self.segment.replace_replica(home_id, replica)
+        for group in self._plan_owners:
+            group._probe_plan = None
         self._refresh_memory_accounting()
 
     def hosted_replicas(self) -> List[int]:

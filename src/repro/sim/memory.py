@@ -67,6 +67,10 @@ class MemoryModel:
         self._budget = budget_bytes
         self._mode = mode
         self._consumers: Dict[str, MemoryConsumer] = {}
+        # Residency changes only when a consumer or the budget changes, but
+        # the query hot path asks for it on every L2/L3 probe-cost estimate;
+        # cache the computed fractions between mutations.
+        self._residency_cache: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Consumer registration
@@ -74,9 +78,11 @@ class MemoryModel:
     def set_consumer(self, name: str, bytes_used: int, priority: int) -> None:
         """Register or update the footprint of a named consumer."""
         self._consumers[name] = MemoryConsumer(name, bytes_used, priority)
+        self._residency_cache = None
 
     def remove_consumer(self, name: str) -> None:
         self._consumers.pop(name, None)
+        self._residency_cache = None
 
     def consumer_bytes(self, name: str) -> int:
         consumer = self._consumers.get(name)
@@ -95,6 +101,7 @@ class MemoryModel:
         if budget is not None and budget < 0:
             raise ValueError(f"budget must be non-negative, got {budget}")
         self._budget = budget
+        self._residency_cache = None
 
     @property
     def total_bytes(self) -> int:
@@ -109,12 +116,19 @@ class MemoryModel:
     # Residency computation
     # ------------------------------------------------------------------
     def _residency(self) -> Dict[str, float]:
-        """Fraction of each consumer resident in memory.
+        """Fraction of each consumer resident in memory (cached).
 
         Consumers are admitted in priority order (stable by name within a
         priority); the first consumer that does not fully fit is partially
         resident and everything after it is spilled.
         """
+        cached = self._residency_cache
+        if cached is None:
+            cached = self._compute_residency()
+            self._residency_cache = cached
+        return cached
+
+    def _compute_residency(self) -> Dict[str, float]:
         if self._budget is None:
             return {name: 1.0 for name in self._consumers}
         if self._mode == "proportional":
@@ -142,9 +156,10 @@ class MemoryModel:
 
     def resident_fraction(self, name: str) -> float:
         """Fraction of consumer ``name`` currently memory-resident."""
-        if name not in self._consumers:
-            raise KeyError(f"unknown consumer {name!r}")
-        return self._residency()[name]
+        try:
+            return self._residency()[name]
+        except KeyError:
+            raise KeyError(f"unknown consumer {name!r}") from None
 
     def snapshot(self) -> List[Tuple[str, int, float]]:
         """Return ``(name, bytes, resident_fraction)`` per consumer."""

@@ -80,14 +80,19 @@ class LatencyRecorder:
         self._count += 1
         self._sum += value
         self._sum_sq += value * value
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-        if len(self._reservoir) < self._reservoir_size:
-            self._reservoir.append(value)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        reservoir = self._reservoir
+        if len(reservoir) < self._reservoir_size:
+            reservoir.append(value)
         else:
-            slot = self._rng.randrange(self._count)
+            # Same draw sequence as ``randrange(self._count)`` without the
+            # argument-validation wrapper (this runs once per observation).
+            slot = self._rng._randbelow(self._count)
             if slot < self._reservoir_size:
-                self._reservoir[slot] = value
+                reservoir[slot] = value
 
     @property
     def count(self) -> int:

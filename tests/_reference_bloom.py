@@ -1,0 +1,346 @@
+"""Frozen per-bit reference Bloom implementation (the differential oracle).
+
+This is a verbatim-semantics copy of the pre-packed substrate
+(``repro.bloom`` as of PR 8): a ``bytearray``-backed :class:`RefBitVector`
+probed one bit at a time, plus the plain and counting Bloom filters built
+on it.  The live substrate was rebuilt on packed big-int bitsets (ISSUE 9);
+the property suite in ``tests/property/test_bloom_differential.py`` replays
+random op sequences through both implementations and requires bit-for-bit
+agreement — state, popcounts, query answers, algebra results, and the
+serialized wire form.
+
+Do NOT "fix" or modernize this module: its value is that it does not
+change.  It deliberately has no dependency on ``repro.bloom`` internals —
+only the hash construction is shared by contract (blake2b double hashing),
+re-implemented here so a hashing regression in the live tree cannot hide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, List, Tuple
+
+
+def _digest64(data: bytes, salt: bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8, key=salt).digest(), "big"
+    )
+
+
+class RefHashFamily:
+    """Kirsch-Mitzenmacher double hashing, identical to the live family."""
+
+    __slots__ = ("num_hashes", "num_bits", "seed", "_salt1", "_salt2")
+
+    def __init__(self, num_hashes: int, num_bits: int, seed: int = 0) -> None:
+        self.num_hashes = num_hashes
+        self.num_bits = num_bits
+        self.seed = seed
+        self._salt1 = seed.to_bytes(8, "big", signed=True) + b"\x01"
+        self._salt2 = seed.to_bytes(8, "big", signed=True) + b"\x02"
+
+    def _encode(self, item: object) -> bytes:
+        if isinstance(item, bytes):
+            return item
+        if isinstance(item, str):
+            return item.encode("utf-8")
+        if isinstance(item, int):
+            return item.to_bytes(16, "big", signed=True)
+        raise TypeError(f"items must be str, bytes or int, got {type(item).__name__}")
+
+    def indices(self, item: object) -> List[int]:
+        data = self._encode(item)
+        h1 = _digest64(data, self._salt1)
+        h2 = _digest64(data, self._salt2) | 1
+        m = self.num_bits
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    def parameters(self) -> Tuple[int, int, int]:
+        return (self.num_hashes, self.num_bits, self.seed)
+
+
+class RefBitVector:
+    """The pre-packed bit vector: a ``bytearray``, one bit per probe."""
+
+    __slots__ = ("_num_bits", "_bytes")
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        self._num_bits = num_bits
+        self._bytes = bytearray((num_bits + 7) // 8)
+
+    @property
+    def num_bits(self) -> int:
+        return self._num_bits
+
+    def _check_index(self, index: int) -> int:
+        if index < 0:
+            index += self._num_bits
+        if not 0 <= index < self._num_bits:
+            raise IndexError(
+                f"bit index {index} out of range for vector of {self._num_bits} bits"
+            )
+        return index
+
+    def get(self, index: int) -> bool:
+        index = self._check_index(index)
+        return bool(self._bytes[index >> 3] & (1 << (index & 7)))
+
+    def set(self, index: int) -> None:
+        index = self._check_index(index)
+        self._bytes[index >> 3] |= 1 << (index & 7)
+
+    def clear(self, index: int) -> None:
+        index = self._check_index(index)
+        self._bytes[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def __len__(self) -> int:
+        return self._num_bits
+
+    def __iter__(self) -> Iterator[bool]:
+        for i in range(self._num_bits):
+            yield self.get(i)
+
+    def reset(self) -> None:
+        for i in range(len(self._bytes)):
+            self._bytes[i] = 0
+
+    def popcount(self) -> int:
+        return sum(bin(byte).count("1") for byte in self._bytes)
+
+    def fill_ratio(self) -> float:
+        return self.popcount() / self._num_bits
+
+    def copy(self) -> "RefBitVector":
+        clone = RefBitVector(self._num_bits)
+        clone._bytes[:] = self._bytes
+        return clone
+
+    def _check_compatible(self, other: "RefBitVector") -> None:
+        if not isinstance(other, RefBitVector):
+            raise TypeError(f"expected RefBitVector, got {type(other).__name__}")
+        if other._num_bits != self._num_bits:
+            raise ValueError(
+                "bit vectors have different lengths: "
+                f"{self._num_bits} vs {other._num_bits}"
+            )
+
+    def __or__(self, other: "RefBitVector") -> "RefBitVector":
+        self._check_compatible(other)
+        result = RefBitVector(self._num_bits)
+        result._bytes[:] = bytes(a | b for a, b in zip(self._bytes, other._bytes))
+        return result
+
+    def __and__(self, other: "RefBitVector") -> "RefBitVector":
+        self._check_compatible(other)
+        result = RefBitVector(self._num_bits)
+        result._bytes[:] = bytes(a & b for a, b in zip(self._bytes, other._bytes))
+        return result
+
+    def __xor__(self, other: "RefBitVector") -> "RefBitVector":
+        self._check_compatible(other)
+        result = RefBitVector(self._num_bits)
+        result._bytes[:] = bytes(a ^ b for a, b in zip(self._bytes, other._bytes))
+        return result
+
+    def hamming_distance(self, other: "RefBitVector") -> int:
+        self._check_compatible(other)
+        return sum(bin(a ^ b).count("1") for a, b in zip(self._bytes, other._bytes))
+
+    def is_subset_of(self, other: "RefBitVector") -> bool:
+        self._check_compatible(other)
+        return all((a & ~b) == 0 for a, b in zip(self._bytes, other._bytes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RefBitVector):
+            return NotImplemented
+        return self._num_bits == other._num_bits and self._bytes == other._bytes
+
+    def __hash__(self) -> int:
+        return hash((self._num_bits, bytes(self._bytes)))
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bytes)
+
+    @classmethod
+    def from_bytes(cls, num_bits: int, payload: bytes) -> "RefBitVector":
+        expected = (num_bits + 7) // 8
+        if len(payload) != expected:
+            raise ValueError(
+                f"payload has {len(payload)} bytes, expected {expected} "
+                f"for {num_bits} bits"
+            )
+        vector = cls(num_bits)
+        vector._bytes[:] = payload
+        return vector
+
+
+class RefBloomFilter:
+    """The pre-packed plain Bloom filter (per-bit probes)."""
+
+    __slots__ = ("_bits", "_hashes", "_num_items")
+
+    def __init__(self, num_bits: int, num_hashes: int, seed: int = 0) -> None:
+        self._bits = RefBitVector(num_bits)
+        self._hashes = RefHashFamily(num_hashes, num_bits, seed)
+        self._num_items = 0
+
+    @property
+    def num_bits(self) -> int:
+        return self._bits.num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self._hashes.num_hashes
+
+    @property
+    def seed(self) -> int:
+        return self._hashes.seed
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def bits(self) -> RefBitVector:
+        return self._bits
+
+    def add(self, item: object) -> None:
+        for index in self._hashes.indices(item):
+            self._bits.set(index)
+        self._num_items += 1
+
+    def update(self, items: Iterable[object]) -> None:
+        for item in items:
+            self.add(item)
+
+    def query(self, item: object) -> bool:
+        return all(self._bits.get(index) for index in self._hashes.indices(item))
+
+    def __contains__(self, item: object) -> bool:
+        return self.query(item)
+
+    def clear(self) -> None:
+        self._bits.reset()
+        self._num_items = 0
+
+    def fill_ratio(self) -> float:
+        return self._bits.fill_ratio()
+
+    def copy(self) -> "RefBloomFilter":
+        clone = RefBloomFilter(self.num_bits, self.num_hashes, self.seed)
+        clone._bits = self._bits.copy()
+        clone._num_items = self._num_items
+        return clone
+
+    def to_bytes(self) -> bytes:
+        header = (
+            self.num_bits.to_bytes(8, "big")
+            + self.num_hashes.to_bytes(4, "big")
+            + self.seed.to_bytes(8, "big", signed=True)
+            + self._num_items.to_bytes(8, "big")
+        )
+        return header + self._bits.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "RefBloomFilter":
+        if len(payload) < 28:
+            raise ValueError("payload too short for a BloomFilter header")
+        num_bits = int.from_bytes(payload[0:8], "big")
+        num_hashes = int.from_bytes(payload[8:12], "big")
+        seed = int.from_bytes(payload[12:20], "big", signed=True)
+        num_items = int.from_bytes(payload[20:28], "big")
+        bloom = cls(num_bits, num_hashes, seed)
+        bloom._bits = RefBitVector.from_bytes(num_bits, payload[28:])
+        bloom._num_items = num_items
+        return bloom
+
+    def _with_bits(self, bits: RefBitVector, num_items: int) -> "RefBloomFilter":
+        result = RefBloomFilter(self.num_bits, self.num_hashes, self.seed)
+        result._bits = bits
+        result._num_items = num_items
+        return result
+
+    def union(self, other: "RefBloomFilter") -> "RefBloomFilter":
+        return self._with_bits(self._bits | other._bits, self._num_items + other._num_items)
+
+    def intersection(self, other: "RefBloomFilter") -> "RefBloomFilter":
+        return self._with_bits(
+            self._bits & other._bits, min(self._num_items, other._num_items)
+        )
+
+    def xor(self, other: "RefBloomFilter") -> "RefBloomFilter":
+        return self._with_bits(
+            self._bits ^ other._bits, abs(self._num_items - other._num_items)
+        )
+
+
+class RefCountingBloomFilter:
+    """The pre-packed counting Bloom filter (list of saturating counters)."""
+
+    __slots__ = ("_counters", "_hashes", "_num_items", "_max_count")
+
+    def __init__(
+        self,
+        num_counters: int,
+        num_hashes: int,
+        seed: int = 0,
+        counter_bits: int = 4,
+    ) -> None:
+        self._counters: List[int] = [0] * num_counters
+        self._hashes = RefHashFamily(num_hashes, num_counters, seed)
+        self._num_items = 0
+        self._max_count = (1 << counter_bits) - 1
+
+    @property
+    def num_counters(self) -> int:
+        return len(self._counters)
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    def counters(self) -> List[int]:
+        return list(self._counters)
+
+    def add(self, item: object) -> None:
+        for index in self._hashes.indices(item):
+            if self._counters[index] < self._max_count:
+                self._counters[index] += 1
+        self._num_items += 1
+
+    def remove(self, item: object) -> None:
+        indices = self._hashes.indices(item)
+        if any(self._counters[i] == 0 for i in indices):
+            raise KeyError(f"item not present in counting filter: {item!r}")
+        for index in indices:
+            if self._counters[index] < self._max_count:
+                self._counters[index] -= 1
+        self._num_items = max(0, self._num_items - 1)
+
+    def discard(self, item: object) -> bool:
+        try:
+            self.remove(item)
+        except KeyError:
+            return False
+        return True
+
+    def query(self, item: object) -> bool:
+        return all(self._counters[i] > 0 for i in self._hashes.indices(item))
+
+    def count_estimate(self, item: object) -> int:
+        return min(self._counters[i] for i in self._hashes.indices(item))
+
+    def clear(self) -> None:
+        for i in range(len(self._counters)):
+            self._counters[i] = 0
+        self._num_items = 0
+
+    def to_bloom_filter(self) -> RefBloomFilter:
+        bloom = RefBloomFilter(self.num_counters, self._hashes.num_hashes, self._hashes.seed)
+        for index, count in enumerate(self._counters):
+            if count > 0:
+                bloom.bits.set(index)
+        bloom._num_items = self._num_items
+        return bloom

@@ -184,3 +184,79 @@ class TestSerialization:
     def test_wrong_payload_length_raises(self):
         with pytest.raises(ValueError):
             BitVector.from_bytes(29, b"\x00")
+
+
+class TestWordBoundaries:
+    """63/64/65-bit vectors straddle one machine word.
+
+    The packed representation is a single big int, but CPython stores it
+    in 30-bit (or 15-bit) digits and ``to_bytes`` walks 8-bit groups, so
+    sizes one either side of 64 are where packing bugs would live.
+    """
+
+    @pytest.mark.parametrize("num_bits", [63, 64, 65])
+    def test_every_bit_individually_addressable(self, num_bits):
+        vector = BitVector(num_bits)
+        for i in range(num_bits):
+            assert not vector.get(i)
+            vector.set(i)
+            assert vector.get(i)
+            assert vector.popcount() == i + 1
+        for i in range(num_bits):
+            vector.clear(i)
+            assert not vector.get(i)
+        assert vector.popcount() == 0
+
+    @pytest.mark.parametrize("num_bits", [63, 64, 65])
+    def test_top_bit_round_trips_through_bytes(self, num_bits):
+        vector = BitVector(num_bits)
+        vector.set(num_bits - 1)
+        payload = vector.to_bytes()
+        assert len(payload) == (num_bits + 7) // 8
+        # Bit i lives at byte[i >> 3], position i & 7 — the frozen layout.
+        top = num_bits - 1
+        assert payload[top >> 3] & (1 << (top & 7))
+        restored = BitVector.from_bytes(num_bits, payload)
+        assert restored == vector
+        assert restored.get(-1)
+
+    @pytest.mark.parametrize("num_bits", [63, 64, 65])
+    def test_boundary_indices_via_negative_addressing(self, num_bits):
+        vector = BitVector(num_bits)
+        vector.set(-num_bits)  # lowest bit
+        assert vector.get(0)
+        vector.set(-1)  # highest bit
+        assert vector.get(num_bits - 1)
+        vector.clear(-1)
+        assert not vector.get(num_bits - 1)
+        assert vector.popcount() == 1
+
+    @pytest.mark.parametrize("num_bits", [63, 64, 65])
+    def test_negative_index_below_range_raises(self, num_bits):
+        vector = BitVector(num_bits)
+        with pytest.raises(IndexError):
+            vector.get(-num_bits - 1)
+        with pytest.raises(IndexError):
+            vector.set(-num_bits - 1)
+        with pytest.raises(IndexError):
+            vector.clear(-(10 * num_bits))
+        # In-range state is untouched by the rejected accesses.
+        assert vector.popcount() == 0
+
+    def test_all_ones_at_65_bits_has_no_phantom_bit(self):
+        vector = BitVector(65)
+        for i in range(65):
+            vector.set(i)
+        assert vector.popcount() == 65
+        assert vector.value == (1 << 65) - 1
+        payload = vector.to_bytes()
+        assert len(payload) == 9
+        assert payload == b"\xff" * 8 + b"\x01"
+
+    def test_mask_primitives_across_the_word_boundary(self):
+        vector = BitVector(65)
+        mask = (1 << 64) | (1 << 63) | 1
+        vector.set_mask(mask)
+        assert vector.contains_mask(mask)
+        assert not vector.contains_mask(mask | (1 << 10))
+        assert vector.popcount() == 3

@@ -31,7 +31,7 @@ def make_group(config, member_ids=(0, 1, 2)):
     for server_id in member_ids:
         server = make_server(server_id, config)
         group.idbfa.add_member(server_id)
-        group._members[server_id] = server
+        group.adopt_member(server)
     return group
 
 

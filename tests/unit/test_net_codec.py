@@ -311,3 +311,129 @@ def test_int_beyond_varint_range_rejected_symmetrically():
     )
     with pytest.raises(CodecError, match="varint"):
         encode_frame(message)
+
+
+# ----------------------------------------------------------------------
+# Bloom serialization parity + corruption sweeps (ISSUE 9)
+# ----------------------------------------------------------------------
+# The packed-bitset rebuild must not move a single wire byte: a filter
+# serialized by the new substrate has to be byte-identical to one built
+# by the frozen per-bit reference over the same items, both directly
+# (``to_bytes``) and inside a codec frame (tag 0x0A).  And a corrupted
+# bloom-carrying frame must surface as the typed ``CodecError`` — never
+# an ``IndexError`` / ``struct.error`` / ``OverflowError`` leak.
+import random
+
+from tests._reference_bloom import RefBloomFilter
+
+_BLOOM_GEOMETRIES = [(61, 3, 0), (64, 4, -2), (509, 5, 7), (1024, 2, 12345)]
+
+
+def _paired_filters(seed, num_bits, num_hashes, hash_seed):
+    rng = random.Random(seed)
+    live = BloomFilter(num_bits, num_hashes, hash_seed)
+    ref = RefBloomFilter(num_bits, num_hashes, hash_seed)
+    for serial in range(rng.randrange(0, 60)):
+        item = f"/fuzz/d{rng.randrange(5)}/f{serial}"
+        live.add(item)
+        ref.add(item)
+    return live, ref
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_bloom_wire_form_matches_reference(seed):
+    geometry = _BLOOM_GEOMETRIES[seed % len(_BLOOM_GEOMETRIES)]
+    live, ref = _paired_filters(seed, *geometry)
+    raw = live.to_bytes()
+    assert raw == ref.to_bytes()
+    # The same parity must hold through the codec's 0x0A tag: frames
+    # carrying either side's bytes are bit-identical.
+    message = Message(
+        kind=MessageKind.HOST_REPLICA,
+        sender=1,
+        payload={"home_id": 3, "replica": live},
+        request_id=seed,
+    )
+    frame = encode_frame(message)
+    assert raw in frame
+    decoded, _ = decode_frame(frame)
+    restored = decoded.payload["replica"]
+    assert restored == live
+    assert restored.num_items == live.num_items
+    assert encode_frame(decoded) == frame
+
+
+def _bloom_frame(seed=3):
+    live, _ = _paired_filters(seed, 509, 5, 7)
+    return encode_frame(
+        Message(
+            kind=MessageKind.REPLACE_REPLICA,
+            sender=-1,
+            payload={"home_id": 2, "replica": live},
+            request_id=77,
+            trace=(5, 6, 7),
+        ),
+        expects_reply=True,
+    )
+
+
+def test_bloom_frame_truncation_sweep():
+    """Every prefix of a bloom-carrying frame is a typed CodecError."""
+    frame = _bloom_frame()
+    for cut in range(len(frame)):
+        with pytest.raises(CodecError):
+            decode_frame(frame[:cut])
+
+
+def test_bloom_frame_bitflip_sweep():
+    """Single bit flips never escape the typed error contract.
+
+    A flip may land in the filter payload and decode as a (different)
+    valid filter, or scramble a dict key into a non-canonical order —
+    both decode fine.  What must never happen is an untyped exception,
+    or a decoded message whose canonical re-encode is not a fixpoint
+    (that would break the bit-identical determinism story downstream).
+    """
+    frame = _bloom_frame()
+    body = frame[4:]
+    for position in range(len(body)):
+        for bit in range(8):
+            corrupt = bytearray(body)
+            corrupt[position] ^= 1 << bit
+            try:
+                message, expects_reply = decode_body(bytes(corrupt))
+            except CodecError:
+                continue
+            canonical = encode_body(message, expects_reply)
+            reread, reread_expects = decode_body(canonical)
+            assert encode_body(reread, reread_expects) == canonical
+
+
+def test_bloom_length_prefix_vs_header_mismatch():
+    """A bloom blob whose varint length disagrees with its claimed
+    geometry is rejected before the big-int allocation."""
+    live, _ = _paired_filters(1, 64, 4, -2)
+    raw = bytearray(live.to_bytes())
+    # Claim 2**60 bits in the header while shipping the original bytes.
+    raw[0:8] = (1 << 60).to_bytes(8, "big")
+    message = Message(
+        kind=MessageKind.PING, sender=0, payload={}, request_id=1
+    )
+    body = bytearray(encode_body(message, expects_reply=False))
+    # Replace the empty dict payload with {"r": <corrupt bloom>}.
+    assert body.endswith(bytes([0x08, 0x00]))
+    del body[-2:]
+    body += bytes([0x08, 0x01])          # dict, 1 entry
+    body += bytes([0x01]) + b"r"         # key "r"
+    body += bytes([0x0A])                # bloom tag
+    encoded_len = bytearray()
+    length = len(raw)
+    while True:
+        septet = length & 0x7F
+        length >>= 7
+        encoded_len.append(septet | (0x80 if length else 0))
+        if not length:
+            break
+    body += bytes(encoded_len) + bytes(raw)
+    with pytest.raises(CodecError, match="inconsistent"):
+        decode_body(bytes(body))
