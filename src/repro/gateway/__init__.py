@@ -11,7 +11,13 @@ traffic never reaches it:
   per-home-MDS batcher for multi-key verification.
 - :mod:`repro.gateway.admission` — token-bucket admission control with a
   bounded, deadline-bearing queue; overload sheds with an explicit
-  REJECTED outcome, never silently.
+  REJECTED outcome, never silently.  :class:`FairAdmissionController`
+  divides one global rate across tenants by weighted max-min sharing
+  (DESIGN.md §16) so a noisy tenant cannot starve the rest.
+- :mod:`repro.gateway.adaptive` — bounded-step controllers with
+  hysteresis (MIDAS-style) that adapt the hotspot shield threshold and
+  cohort suspicion timeout to observed load/jitter instead of fixed
+  constants; deterministic under seeded runs.
 - :mod:`repro.gateway.hotspot` — sliding-window space-saving heavy-hitter
   sketch that flags hot paths and shields them (extended leases, pinned
   against LRU eviction).
@@ -34,7 +40,15 @@ nothing here is imported by the cluster hot paths, and a cluster that is
 queried directly behaves bit-identically to a build without this package.
 """
 
-from repro.gateway.admission import AdmissionController, TokenBucket
+from repro.gateway.admission import (
+    DEFAULT_TENANT,
+    AdmissionController,
+    FairAdmissionController,
+    TickResult,
+    TokenBucket,
+    fractional_fair_shares,
+    weighted_max_min,
+)
 from repro.gateway.cache import CacheLookup, GatewayCache
 from repro.gateway.client import (
     GatewayConfig,
@@ -60,7 +74,12 @@ from repro.gateway.writeback import (
 
 __all__ = [
     "AdmissionController",
+    "DEFAULT_TENANT",
+    "FairAdmissionController",
+    "TickResult",
     "TokenBucket",
+    "fractional_fair_shares",
+    "weighted_max_min",
     "CacheLookup",
     "GatewayCache",
     "GatewayConfig",

@@ -7,6 +7,7 @@ Usage::
         --clients 8 --profile HP --chaos --json gateway.json
     python -m repro.gateway bench --cohort 4 --json BENCH_cohort.json
     python -m repro.gateway bench --writeback
+    python -m repro.gateway bench --tenants 4
 
 ``bench`` replays a synthetic :mod:`repro.traces` workload through a pool
 of concurrent clients fronted by one :class:`~repro.gateway.client.
@@ -40,6 +41,18 @@ every acked mutation durable, nothing unacked silently absorbed, zero
 divergences.  The gate (exit nonzero otherwise) is a >= 1.5x mutation-RPC
 reduction with zero divergences and zero stale reads.
 
+``bench --tenants N`` runs the multi-tenant admission sweep of
+:mod:`repro.gateway.tenant_bench`: a Zipf tenant mixture (tenant ``u0``
+the noisy neighbour) replayed at every ``--trace-rate`` sweep point
+through the fair per-tenant controller, the legacy global bucket, and
+per-tenant solo baselines.  The artifact ``BENCH_tenants.json`` records
+per-tenant goodput/shed/latency, Jain's fairness index and the
+determinism digest; the gates (exit nonzero otherwise) are Jain >= 0.9,
+zero starved tenants, the noisy tenant capped at its weighted share,
+every quiet tenant within 10% of its solo goodput — with the global
+bucket demonstrably failing that bound — and a bit-identical repeat
+replay.
+
 Everything runs on seeded RNGs and virtual time, so the same arguments
 always produce byte-identical reports — including under ``--chaos``,
 which runs the replay beneath a seeded fault plan (message loss plus a
@@ -61,6 +74,7 @@ from repro.faults.plan import FaultPlan, Partition
 from repro.gateway.client import GatewayConfig, MetadataClient, Outcome
 from repro.gateway.cohort import CohortConfig, GatewayCohort
 from repro.gateway.staleness import StalenessAuditor
+from repro.gateway.tenant_bench import render_tenant_bench, run_tenant_bench
 from repro.obs.report import gateway_hotspot_report
 from repro.traces.profiles import PROFILES
 from repro.traces.records import MetadataOp
@@ -668,6 +682,36 @@ def _cmd_writeback_bench(args) -> int:
     return 0
 
 
+def _cmd_tenant_bench(args) -> int:
+    import time
+
+    if args.tenant_rate_factor <= 0:
+        print("--tenant-rate-factor must be positive")
+        return 2
+    started = time.time()
+    stats = run_tenant_bench(args)
+    print(render_tenant_bench(stats))
+    if args.json is None:
+        args.json = "BENCH_tenants.json"
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "gateway_tenants": stats,
+                "_meta": _run_metadata(time.time() - started),
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"\nwrote bench stats to {args.json}")
+    failures: List[str] = stats["failures"]  # type: ignore[assignment]
+    if failures:
+        print("FAILED: " + "; ".join(failures))
+        return 1
+    return 0
+
+
 def _cohort_fault_plan(seed: int, size: int, duration_s: float) -> FaultPlan:
     """The cohort bench's canned chaos: lossy, duplicating links plus a
     mid-run partition islanding half the gateways."""
@@ -982,13 +1026,18 @@ def _resolve_bench_defaults(args) -> None:
     stay safe); the single-gateway bench keeps its original defaults.
     """
     cohort = args.cohort is not None
+    tenants = getattr(args, "tenants", None) is not None
     tcp = args.transport == "tcp"
     if args.servers is None:
         args.servers = 4 if tcp else 20
     if args.files is None:
-        args.files = 800 if tcp else 3_000
+        # Tenant mode replays the trace 2 + 1 + N times per sweep point
+        # (fair x2, global, solo per tenant), so it trims the namespace.
+        args.files = 800 if tcp else (1_500 if tenants else 3_000)
     if args.ops is None:
-        args.ops = 2_000 if tcp else (20_000 if cohort else 5_000)
+        args.ops = 2_000 if tcp else (
+            20_000 if cohort else (4_000 if tenants else 5_000)
+        )
     if args.lease_ttl_s is None:
         args.lease_ttl_s = 30.0 if cohort else 5.0
     if tcp and args.workdir is None:
@@ -1003,6 +1052,8 @@ def _cmd_bench(args) -> int:
         return run_tcp_bench(args, _run_metadata)
     if args.cohort is not None:
         return _cmd_cohort_bench(args)
+    if args.tenants is not None:
+        return _cmd_tenant_bench(args)
     if args.writeback:
         return _cmd_writeback_bench(args)
     tracer, flight = _obs_from_args(args)
@@ -1108,6 +1159,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cohort", type=_positive_int, default=None, metavar="N",
         help="distributed-cohort mode: N multicast-coherent gateways vs "
         "N independent gateways (always under a seeded fault plan)",
+    )
+    bench.add_argument(
+        "--tenants", type=_positive_int, default=None, metavar="N",
+        help="multi-tenant admission mode: N Zipf-mixed tenants replayed "
+        "through fair vs global vs solo deployments at every --trace-rate "
+        "sweep point; default JSON artifact BENCH_tenants.json",
+    )
+    bench.add_argument(
+        "--tenant-zipf", type=float, default=2.0,
+        help="tenant mode: skew of tenant popularity (tenant u0 is the "
+        "noisy neighbour; higher = noisier)",
+    )
+    bench.add_argument(
+        "--tenant-rate-factor", type=float, default=0.5,
+        help="tenant mode: admission rate as a fraction of the trace "
+        "rate (< 1 provisions contention)",
+    )
+    bench.add_argument(
+        "--tenant-rates", type=float, nargs="+", default=None,
+        metavar="RATE",
+        help="tenant mode: explicit trace-rate sweep points "
+        "(default: --trace-rate and 1000)",
     )
     bench.add_argument(
         "--writeback", action="store_true",

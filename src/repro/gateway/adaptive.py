@@ -1,0 +1,209 @@
+"""Bounded-step adaptive controllers (MIDAS-style) for gateway tuning.
+
+PR 3 froze two policy constants at build time: the hotspot shield
+threshold (``hot_threshold`` requests per window) and the cohort
+suspicion timeout (``suspect_after_s`` of heartbeat silence).  Both are
+*load-relative* quantities: 32 requests/window is a scorching hotspot at
+50 ops/s and background noise at 5 000 ops/s; 150 ms of silence is
+damning on a quiet LAN and routine under injected delay faults.  MIDAS
+(PAPERS.md) adapts its proxy middleware to the observed stream instead —
+this module is that idea, reduced to three small, deterministic pieces:
+
+- :class:`AdaptiveController` — moves a value toward a computed target
+  with a **bounded step** (at most ``max_step_frac`` of the current
+  value per decision), a **hysteresis deadband** (no move while the
+  target is within ``deadband_frac`` of the value) and a **cooldown**
+  (at most one step per ``cooldown_s`` of virtual time).  On a constant
+  input the value converges monotonically and then *stops*: once inside
+  the deadband no further step fires, so seeded runs are reproducible
+  and thresholds never oscillate (locked by a unit test).
+- :class:`LoadEstimator` — windowed EWMA of an observed event rate.
+- :class:`JitterEstimator` — Jacobson/Karels mean + deviation tracker
+  for heartbeat inter-arrival times; ``timeout()`` is the classic
+  ``mean + k·dev`` retransmission-timer bound.
+
+Everything runs on the caller's virtual clock and touches no RNG, so
+adaptation is a pure function of the observed sequence — the same seed
+replays to bit-identical controller trajectories.
+
+Adaptivity is **opt-in** at both call sites (``GatewayConfig
+.adaptive_hotspot``, ``CohortConfig.adaptive_suspicion``); with the
+flags off, behaviour is bit-identical to the static constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Bounds and damping of one :class:`AdaptiveController`.
+
+    ``minimum``/``maximum`` clamp both the target and the value — the
+    controller can never leave the envelope the operator signed off on,
+    no matter what the load signal does (the "controller bounds" of
+    DESIGN.md §16).
+    """
+
+    minimum: float
+    maximum: float
+    #: Largest move per decision, as a fraction of the current value.
+    max_step_frac: float = 0.25
+    #: Hysteresis half-width: no step while ``|target - value|`` is
+    #: within this fraction of the current value.
+    deadband_frac: float = 0.2
+    #: Minimum virtual time between steps.
+    cooldown_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.minimum <= 0:
+            raise ValueError(f"minimum must be positive, got {self.minimum}")
+        if self.maximum < self.minimum:
+            raise ValueError(
+                f"maximum {self.maximum} must be >= minimum {self.minimum}"
+            )
+        if not 0 < self.max_step_frac <= 1.0:
+            raise ValueError(
+                f"max_step_frac must be in (0, 1], got {self.max_step_frac}"
+            )
+        if self.deadband_frac < 0:
+            raise ValueError(
+                f"deadband_frac must be >= 0, got {self.deadband_frac}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}"
+            )
+
+
+class AdaptiveController:
+    """Damped tracker: value chases target under bounds and hysteresis.
+
+    The no-oscillation argument (for a constant target ``g``): while
+    ``|g - value|`` exceeds the deadband, every step moves ``value``
+    strictly toward ``g`` and never past it (the step is clamped to the
+    remaining error), so the error is non-increasing; once the error is
+    inside the deadband no step fires at all.  The value is therefore
+    monotone until convergence and constant afterwards.
+    """
+
+    def __init__(self, initial: float, config: ControllerConfig) -> None:
+        self.config = config
+        self.value = min(config.maximum, max(config.minimum, initial))
+        self.steps = 0
+        self._last_step_at: Optional[float] = None
+
+    def update(self, target: float, now: float) -> float:
+        """Move toward ``target`` (one bounded step at most); returns the
+        possibly-updated value."""
+        cfg = self.config
+        target = min(cfg.maximum, max(cfg.minimum, target))
+        if (
+            self._last_step_at is not None
+            and now - self._last_step_at < cfg.cooldown_s
+        ):
+            return self.value
+        error = target - self.value
+        if abs(error) <= cfg.deadband_frac * self.value:
+            return self.value
+        limit = cfg.max_step_frac * self.value
+        step = max(-limit, min(limit, error))
+        self.value = min(cfg.maximum, max(cfg.minimum, self.value + step))
+        self.steps += 1
+        self._last_step_at = now
+        return self.value
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveController(value={self.value:.3f}, "
+            f"steps={self.steps})"
+        )
+
+
+class LoadEstimator:
+    """Windowed EWMA of an event rate (events per virtual second).
+
+    Counts accumulate into fixed ``window_s`` buckets; each completed
+    bucket folds its rate into the EWMA with weight ``alpha``.  Windows
+    with no observe() calls still count as empty when a later call
+    crosses them, so going idle decays the estimate instead of freezing
+    it.
+    """
+
+    def __init__(self, window_s: float = 1.0, alpha: float = 0.3) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.window_s = window_s
+        self.alpha = alpha
+        self.rate = 0.0
+        self._primed = False
+        self._window_start = 0.0
+        self._count = 0
+
+    def observe(self, count: int, now: float) -> float:
+        """Account ``count`` events at ``now``; returns the current rate."""
+        while now - self._window_start >= self.window_s:
+            window_rate = self._count / self.window_s
+            if self._primed:
+                self.rate += self.alpha * (window_rate - self.rate)
+            else:
+                self.rate = window_rate
+                self._primed = True
+            self._count = 0
+            self._window_start += self.window_s
+        self._count += count
+        return self.rate
+
+    def __repr__(self) -> str:
+        return f"LoadEstimator(rate={self.rate:.2f}/s)"
+
+
+class JitterEstimator:
+    """Jacobson/Karels smoothed mean + deviation of an interval stream.
+
+    The classic RTO estimator applied to heartbeat inter-arrival gaps:
+    ``timeout(k)`` returns ``mean + k·dev`` — the silence length that is
+    ``k`` deviations beyond normal, i.e. actual evidence of failure
+    rather than ordinary network jitter.
+    """
+
+    def __init__(self, alpha: float = 0.125, beta: float = 0.25) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0 < beta <= 1:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.mean: Optional[float] = None
+        self.deviation = 0.0
+        self.samples = 0
+
+    def observe(self, interval_s: float) -> None:
+        if interval_s < 0:
+            raise ValueError(
+                f"interval_s must be >= 0, got {interval_s}"
+            )
+        self.samples += 1
+        if self.mean is None:
+            self.mean = interval_s
+            self.deviation = interval_s / 2.0
+            return
+        error = interval_s - self.mean
+        self.mean += self.alpha * error
+        self.deviation += self.beta * (abs(error) - self.deviation)
+
+    def timeout(self, k: float = 4.0, default: float = 0.0) -> float:
+        """``mean + k·dev``, or ``default`` before the first sample."""
+        if self.mean is None:
+            return default
+        return self.mean + k * self.deviation
+
+    def __repr__(self) -> str:
+        return (
+            f"JitterEstimator(mean={self.mean}, dev={self.deviation:.4f}, "
+            f"samples={self.samples})"
+        )

@@ -32,11 +32,20 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cluster import GHBACluster, MutationEvent, MutationOutcome
-from repro.gateway.admission import AdmissionController
+from repro.gateway.adaptive import (
+    AdaptiveController,
+    ControllerConfig,
+    LoadEstimator,
+)
+from repro.gateway.admission import (
+    DEFAULT_TENANT,
+    FairAdmissionController,
+    TickResult,
+)
 from repro.gateway.cache import GatewayCache
 from repro.gateway.coalesce import HomeBatcher, coalesce
 from repro.gateway.hotspot import HeavyHitter, HotspotDetector
@@ -91,6 +100,8 @@ class GatewayResponse:
     #: the fleet, so the stale-read audit must not compare it against
     #: live backend state the way it re-checks ``from_cache`` answers.
     from_overlay: bool = False
+    #: The tenant this request was submitted under (admission quota key).
+    tenant: str = DEFAULT_TENANT
 
     @property
     def found(self) -> bool:
@@ -110,12 +121,37 @@ class GatewayConfig:
     burst: float = 200.0
     queue_capacity: int = 128
     queue_deadline_s: float = 0.5
+    #: ``"fair"`` (default) shares the rate across tenants by weighted
+    #: max-min; ``"global"`` is the legacy single-FIFO tenant-blind
+    #: bucket — kept so the isolation harness can show it failing.
+    #: With one tenant the two modes are bit-identical.
+    admission_mode: str = "fair"
+    #: Static tenant → weight map; tenants not listed get
+    #: ``tenant_default_weight``.  Weights must be positive.
+    tenant_weights: Optional[Mapping[str, float]] = None
+    tenant_default_weight: float = 1.0
     # Coalescing / batching
     max_batch: int = 16
     # Hotspot detection
     hotspot_capacity: int = 64
     hotspot_window_s: float = 5.0
     hot_threshold: int = 32
+    #: Adapt ``hot_threshold`` to observed load (MIDAS-style) instead of
+    #: keeping it fixed.  Off by default: with the flag off the detector
+    #: is bit-identical to the static constant.  When on, the target
+    #: threshold is ``observed rate × window × hot_fraction`` — "hot"
+    #: means "takes at least this fraction of the window's traffic" —
+    #: chased by a bounded-step controller with hysteresis
+    #: (:mod:`repro.gateway.adaptive`), clamped to
+    #: [hot_threshold_min, hot_threshold_max].
+    adaptive_hotspot: bool = False
+    hot_threshold_min: int = 8
+    hot_threshold_max: int = 512
+    hot_fraction: float = 0.02
+    #: Damping shared by the gateway-side adaptive controllers.
+    adaptive_step_frac: float = 0.25
+    adaptive_deadband_frac: float = 0.2
+    adaptive_cooldown_s: float = 1.0
     # Client-side cost model: a lease answer costs one local memory probe
     # equivalent; it never touches the network.
     cache_hit_latency_ms: float = 0.001
@@ -147,6 +183,31 @@ class GatewayConfig:
             raise ValueError(
                 f"cache_capacity must be >= 1, got {self.cache_capacity}"
             )
+        if self.admission_mode not in ("fair", "global"):
+            raise ValueError(
+                "admission_mode must be 'fair' or 'global', "
+                f"got {self.admission_mode!r}"
+            )
+        if self.tenant_default_weight <= 0:
+            raise ValueError(
+                "tenant_default_weight must be positive, "
+                f"got {self.tenant_default_weight}"
+            )
+        for tenant, weight in (self.tenant_weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} weight must be positive, got {weight}"
+                )
+        if self.adaptive_hotspot:
+            if not 1 <= self.hot_threshold_min <= self.hot_threshold_max:
+                raise ValueError(
+                    "need 1 <= hot_threshold_min <= hot_threshold_max, got "
+                    f"{self.hot_threshold_min}..{self.hot_threshold_max}"
+                )
+            if not 0 < self.hot_fraction <= 1:
+                raise ValueError(
+                    f"hot_fraction must be in (0, 1], got {self.hot_fraction}"
+                )
         if self.writeback:
             if self.flush_max_pending < 1:
                 raise ValueError(
@@ -220,11 +281,14 @@ class MetadataClient:
             negative_ttl_s=cfg.negative_ttl_s,
             hot_lease_ttl_s=cfg.hot_lease_ttl_s,
         )
-        self.admission: AdmissionController[str] = AdmissionController(
+        self.admission: FairAdmissionController[str] = FairAdmissionController(
             rate_per_s=cfg.rate_per_s,
             burst=cfg.burst,
             queue_capacity=cfg.queue_capacity,
             queue_deadline_s=cfg.queue_deadline_s,
+            weights=cfg.tenant_weights,
+            default_weight=cfg.tenant_default_weight,
+            per_tenant=cfg.admission_mode == "fair",
         )
         self.batcher = HomeBatcher(max_batch=cfg.max_batch)
         self.hotspots = HotspotDetector(
@@ -232,6 +296,22 @@ class MetadataClient:
             window_s=cfg.hotspot_window_s,
             hot_threshold=cfg.hot_threshold,
         )
+        #: MIDAS-style shield adaptation (None unless opted in — the
+        #: static path stays bit-identical).
+        self._hot_controller: Optional[AdaptiveController] = None
+        self._load: Optional[LoadEstimator] = None
+        if cfg.adaptive_hotspot:
+            self._hot_controller = AdaptiveController(
+                initial=float(cfg.hot_threshold),
+                config=ControllerConfig(
+                    minimum=float(cfg.hot_threshold_min),
+                    maximum=float(cfg.hot_threshold_max),
+                    max_step_frac=cfg.adaptive_step_frac,
+                    deadband_frac=cfg.adaptive_deadband_frac,
+                    cooldown_s=cfg.adaptive_cooldown_s,
+                ),
+            )
+            self._load = LoadEstimator(window_s=1.0)
         self.backend_queries = 0  # full walks + batch round trips
         #: Mutation-path RPCs to the fleet: write-through mutations, flush
         #: batches (and their retries), renames, conflict re-reads and
@@ -290,8 +370,8 @@ class MetadataClient:
         )
         self._shed = m.counter(
             "gateway_shed_total",
-            "Requests shed by admission control, by cause.",
-            labels=("cause",),
+            "Requests shed by admission control, by tenant and cause.",
+            labels=("tenant", "cause"),
         )
         self._queued = m.counter(
             "gateway_queued_total",
@@ -385,6 +465,10 @@ class MetadataClient:
         m.gauge(
             "gateway_queue_depth", "Requests waiting in the admission queue."
         ).set(self.admission.queue_depth)
+        m.gauge(
+            "gateway_hot_threshold",
+            "Current hotspot shield threshold (adaptive or static).",
+        ).set(self.hotspots.hot_threshold)
 
     # ------------------------------------------------------------------
     # Coherence: cluster mutation hooks
@@ -430,78 +514,119 @@ class MetadataClient:
                 return response
         # The request was queued; it completes on a later tick (or sheds
         # with REJECTED once its deadline passes).
-        return GatewayResponse(path=path, outcome=Outcome.QUEUED)
+        return GatewayResponse(
+            path=path, outcome=Outcome.QUEUED, tenant=tenant
+        )
 
     def lookup_many(
         self, paths: Sequence[str], now: float = 0.0, tenant: str = "-"
     ) -> List[GatewayResponse]:
-        """Resolve a tick of concurrent lookups through the full pipeline.
+        """Resolve a tick of same-tenant lookups through the full pipeline.
 
         Returns completions for this tick: freshly admitted requests,
         queue drains whose token arrived, and explicit REJECTED responses
         for everything shed.  Queued requests are absent from the return
-        and complete on a later tick.  ``tenant`` only dimensions the
-        request/latency metric families; it never affects routing.
+        and complete on a later tick.  ``tenant`` keys the admission
+        quota (and dimensions the metric families); it never affects
+        routing.  Multi-tenant ticks go through :meth:`lookup_tick`.
+        """
+        return self.lookup_tick([(tenant, path) for path in paths], now)
+
+    def lookup_tick(
+        self, items: Sequence[Tuple[str, str]], now: float = 0.0
+    ) -> List[GatewayResponse]:
+        """Resolve one tick of ``(tenant, path)`` lookups.
+
+        All demands of one virtual instant must be submitted together —
+        per-tenant fairness is decided *within* a tick, so feeding
+        tenants through separate calls at the same ``now`` would hand
+        the whole token budget to whoever called first.
         """
         if self.writeback is not None:
             self.maybe_flush(now)
-        if paths:
-            self._requests.labels("lookup", tenant).inc(len(paths))
-        stats = self.admission.stats
-        before = (stats.shed_full, stats.shed_deadline, stats.queued)
-        admitted, shed = self.admission.submit_many(list(paths), now)
-        responses = self._account_shed(shed, before)
-        if not admitted:
-            return responses
-        responses.extend(self._serve_tick(admitted, now))
-        latency = self._lookup_latency.labels(tenant)
+        if self._load is not None and self._hot_controller is not None:
+            # MIDAS-style shield adaptation: "hot" tracks a fraction of
+            # the observed window traffic instead of a fixed count.
+            rate = self._load.observe(len(items), now)
+            target = (
+                rate * self.config.hotspot_window_s * self.config.hot_fraction
+            )
+            self.hotspots.hot_threshold = max(
+                1, int(round(self._hot_controller.update(target, now)))
+            )
+        counts: Dict[str, int] = {}
+        for tenant, _ in items:
+            counts[tenant] = counts.get(tenant, 0) + 1
+        for tenant, count in counts.items():
+            self._requests.labels("lookup", tenant).inc(count)
+        before_queued = self.admission.stats.queued
+        tick = self.admission.submit_tick(list(items), now)
+        responses = self._account_tick(tick, before_queued)
+        if tick.admitted:
+            responses.extend(
+                self._serve_tick(
+                    [path for _, path in tick.admitted],
+                    now,
+                    tenants=[tenant for tenant, _ in tick.admitted],
+                )
+            )
         for response in responses:
             if response.outcome not in (Outcome.QUEUED, Outcome.REJECTED):
-                latency.observe(response.latency_ms)
+                self._lookup_latency.labels(response.tenant).observe(
+                    response.latency_ms
+                )
         return responses
 
-    def _account_shed(
-        self,
-        shed: List[str],
-        before: Tuple[int, int, int],
+    def _account_tick(
+        self, tick: TickResult[str], before_queued: int
     ) -> List[GatewayResponse]:
         """REJECTED responses + exact shed/queued metric reconciliation."""
-        stats = self.admission.stats
-        full_delta = stats.shed_full - before[0]
-        deadline_delta = stats.shed_deadline - before[1]
-        queued_delta = stats.queued - before[2]
-        if full_delta:
-            self._shed.labels("queue_full").inc(full_delta)
-        if deadline_delta:
-            self._shed.labels("deadline").inc(deadline_delta)
+        queued_delta = self.admission.stats.queued - before_queued
         if queued_delta:
             self._queued.inc(queued_delta)
-        return [
-            GatewayResponse(path=path, outcome=Outcome.REJECTED)
-            for path in shed
-        ]
+        responses: List[GatewayResponse] = []
+        for tenant, path, cause in tick.shed:
+            self._shed.labels(tenant, cause).inc()
+            responses.append(
+                GatewayResponse(
+                    path=path, outcome=Outcome.REJECTED, tenant=tenant
+                )
+            )
+        return responses
 
     def pump(self, now: float) -> List[GatewayResponse]:
         """Advance the admission queue without submitting new work."""
         if self.writeback is not None:
             self.maybe_flush(now)
-        stats = self.admission.stats
-        before = (stats.shed_full, stats.shed_deadline, stats.queued)
-        admitted, shed = self.admission.pump(now)
-        responses = self._account_shed(shed, before)
-        if admitted:
-            responses.extend(self._serve_tick(admitted, now))
+        before_queued = self.admission.stats.queued
+        tick = self.admission.pump(now)
+        responses = self._account_tick(tick, before_queued)
+        if tick.admitted:
+            responses.extend(
+                self._serve_tick(
+                    [path for _, path in tick.admitted],
+                    now,
+                    tenants=[tenant for tenant, _ in tick.admitted],
+                )
+            )
         return responses
 
     # ------------------------------------------------------------------
     # The serving pipeline
     # ------------------------------------------------------------------
     def _serve_tick(
-        self, paths: List[str], now: float
+        self,
+        paths: List[str],
+        now: float,
+        tenants: Optional[List[str]] = None,
     ) -> List[GatewayResponse]:
         cfg = self.config
-        for path in paths:
-            self.hotspots.observe(path, now)
+        if tenants is None:
+            for path in paths:
+                self.hotspots.observe(path, now)
+        else:
+            for path, tenant in zip(paths, tenants):
+                self.hotspots.observe(path, now, tenant=tenant)
         # ---- cache ----------------------------------------------------
         answered: Dict[str, GatewayResponse] = {}
         predictions: List[Tuple[str, Optional[int]]] = []
@@ -658,8 +783,15 @@ class MetadataClient:
         for leader, indices in flight.waiters.items():
             base = answered[leader]
             for position, index in enumerate(indices):
+                tenant = (
+                    tenants[index] if tenants is not None else DEFAULT_TENANT
+                )
                 if position == 0:
-                    responses[index] = base
+                    responses[index] = (
+                        base
+                        if tenant == base.tenant
+                        else replace(base, tenant=tenant)
+                    )
                 else:
                     self._coalesced.inc()
                     responses[index] = GatewayResponse(
@@ -671,6 +803,7 @@ class MetadataClient:
                         degraded=base.degraded,
                         from_cache=base.from_cache,
                         from_overlay=base.from_overlay,
+                        tenant=tenant,
                     )
         return list(responses)
 

@@ -22,11 +22,13 @@ from repro.traces.profiles import (
     PROFILES,
 )
 from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.traces.tenants import TenantModel
 from repro.traces.scaling import intensify
 from repro.traces.workloads import WorkloadStats, compute_stats
 from repro.traces.io import read_trace, write_trace
 
 __all__ = [
+    "TenantModel",
     "MetadataOp",
     "TraceRecord",
     "TraceProfile",

@@ -61,6 +61,17 @@ class TraceRecord:
     subtrace: int = 0
     new_path: str = ""
 
+    @property
+    def tenant(self) -> str:
+        """The admission-quota tenant key of this record.
+
+        Tenancy is keyed on the issuing user: the gateway's per-tenant
+        token buckets, shed metrics and fairness accounting all use this
+        string (``repro.traces.tenants`` assigns ``uid == tenant index``
+        when generating multi-tenant workloads).
+        """
+        return f"u{self.uid}"
+
     def __post_init__(self) -> None:
         if self.timestamp < 0:
             raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")

@@ -20,9 +20,12 @@ from __future__ import annotations
 import heapq
 from typing import Iterator, List, Tuple
 
+from typing import Dict, Optional
+
 from repro.sim.rng import ZipfSampler, make_rng, weighted_choice
 from repro.traces.profiles import TraceProfile
 from repro.traces.records import MetadataOp, TraceRecord
+from repro.traces.tenants import TenantModel
 
 
 def build_file_population(
@@ -80,6 +83,7 @@ class SyntheticTraceGenerator:
         seed: int = 0,
         ops_per_second: float = 1000.0,
         close_delay_mean: float = 0.5,
+        tenants: Optional[TenantModel] = None,
     ) -> None:
         if ops_per_second <= 0:
             raise ValueError(f"ops_per_second must be positive, got {ops_per_second}")
@@ -107,6 +111,25 @@ class SyntheticTraceGenerator:
         ]
         self._draw_weights = [profile.op_mix[op] for op in self._draw_ops]
         self._created_serial = 0
+        # Multi-tenant mode (None → identities drawn exactly as before,
+        # byte-identical traces for every existing seed).
+        self.tenants = tenants
+        self._seed = seed
+        self._tenant_zipf: Optional[ZipfSampler] = None
+        self._tenant_file_zipf: Optional[ZipfSampler] = None
+        self._tenant_perms: Dict[int, Tuple[int, int]] = {}
+        if tenants is not None:
+            self._tenant_zipf = ZipfSampler(
+                tenants.num_tenants, tenants.zipf_alpha, self._rng
+            )
+            file_alpha = (
+                tenants.file_zipf_alpha
+                if tenants.file_zipf_alpha is not None
+                else profile.zipf_alpha
+            )
+            self._tenant_file_zipf = ZipfSampler(
+                active_count, file_alpha, self._rng
+            )
 
     @property
     def num_users(self) -> int:
@@ -124,6 +147,30 @@ class SyntheticTraceGenerator:
             self._rng.randrange(self._num_users),
             self._rng.randrange(self._num_hosts),
         )
+
+    def _sample_tenant_identity(self) -> Tuple[int, int]:
+        """Zipf-draw the issuing tenant; ``uid`` *is* the tenant index."""
+        assert self._tenant_zipf is not None
+        tenant_index = self._tenant_zipf.sample()
+        return tenant_index, tenant_index % self._num_hosts
+
+    def _sample_tenant_path(self, tenant_index: int) -> str:
+        """One Zipf file draw through the tenant's own permutation.
+
+        Each tenant ranks the same active population differently (affine
+        bijection), so hot sets are disjoint-ish across tenants while
+        the marginal popularity law stays the profile's.
+        """
+        assert self.tenants is not None
+        assert self._tenant_file_zipf is not None
+        count = len(self._active_paths)
+        perm = self._tenant_perms.get(tenant_index)
+        if perm is None:
+            perm = self.tenants.permutation(tenant_index, count, self._seed)
+            self._tenant_perms[tenant_index] = perm
+        a, b = perm
+        rank = self._tenant_file_zipf.sample()
+        return self._active_paths[(a * rank + b) % count]
 
     def generate(self, num_ops: int) -> Iterator[TraceRecord]:
         """Yield ``num_ops`` records in timestamp order.
@@ -174,19 +221,24 @@ class SyntheticTraceGenerator:
 
     def _draw_record(self, now: float) -> TraceRecord:
         op = self._draw_ops[weighted_choice(self._draw_weights, self._rng)]
-        uid, host = self._sample_identity()
+        if self.tenants is not None:
+            uid, host = self._sample_tenant_identity()
+            sample = lambda: self._sample_tenant_path(uid)  # noqa: E731
+        else:
+            uid, host = self._sample_identity()
+            sample = self._sample_path
         if op is MetadataOp.CREATE:
             self._created_serial += 1
-            parent = self._sample_path().rsplit("/", 1)[0]
+            parent = sample().rsplit("/", 1)[0]
             path = f"{parent}/new{self._created_serial}"
             return TraceRecord(now, op, path, uid=uid, host=host)
         if op is MetadataOp.RENAME:
-            source = self._sample_path()
+            source = sample()
             return TraceRecord(
                 now, op, source, uid=uid, host=host,
                 new_path=source + ".renamed",
             )
-        return TraceRecord(now, op, self._sample_path(), uid=uid, host=host)
+        return TraceRecord(now, op, sample(), uid=uid, host=host)
 
 
 def generate_trace(

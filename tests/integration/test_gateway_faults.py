@@ -148,8 +148,8 @@ class TestShedReconciliation:
         assert stats.admitted + stats.shed == stats.submitted
         shed_family = cluster.metrics.get("gateway_shed_total")
         assert shed_family.total() == stats.shed
-        assert shed_family.get("queue_full") == stats.shed_full
-        assert shed_family.get("deadline") == stats.shed_deadline
+        assert shed_family.get("-", "queue_full") == stats.shed_full
+        assert shed_family.get("-", "deadline") == stats.shed_deadline
         assert gateway.shed_total() == stats.shed
 
 

@@ -1,8 +1,17 @@
 """Unit tests for gateway admission control (repro.gateway.admission)."""
 
+import random
+
 import pytest
 
-from repro.gateway.admission import AdmissionController, TokenBucket
+from repro.gateway.adaptive import AdaptiveController, ControllerConfig
+from repro.gateway.admission import (
+    DEFAULT_TENANT,
+    SHED_DEADLINE,
+    AdmissionController,
+    FairAdmissionController,
+    TokenBucket,
+)
 
 
 class TestTokenBucket:
@@ -92,3 +101,184 @@ class TestAdmissionController:
         _, shed = ctl.submit_many(list("abc"), 0.0)
         assert shed == ["c"]
         assert ctl.stats.queued == 0
+
+
+class TestFairAdmissionController:
+    def _controller(self, **kwargs):
+        defaults = dict(
+            rate_per_s=10.0, burst=2.0, queue_capacity=3, queue_deadline_s=1.0
+        )
+        defaults.update(kwargs)
+        return FairAdmissionController(**defaults)
+
+    def test_unknown_tenant_gets_default_weight(self):
+        ctl = self._controller(
+            weights={"vip": 4.0}, default_weight=1.5
+        )
+        # A tenant first seen mid-run is a first-class citizen.
+        result = ctl.submit_tick([("nobody", "p")], 0.0)
+        assert result.admitted == [("nobody", "p")]
+        assert ctl.weight_of("nobody") == 1.5
+        assert ctl.weight_of("vip") == 4.0
+        assert ctl.weight_of("never-seen") == 1.5
+
+    def test_zero_weight_rejected(self):
+        ctl = self._controller()
+        with pytest.raises(ValueError):
+            ctl.set_weight("t", 0.0)
+        with pytest.raises(ValueError):
+            ctl.set_weight("t", -1.0)
+        with pytest.raises(ValueError):
+            FairAdmissionController(
+                rate_per_s=10.0, burst=2.0, weights={"t": 0.0}
+            )
+        with pytest.raises(ValueError):
+            FairAdmissionController(
+                rate_per_s=10.0, burst=2.0, default_weight=0.0
+            )
+
+    def test_deadline_queue_ordering_across_tenants(self):
+        """Queued entries drain in global enqueue order across tenants,
+        and deadline sheds carry the explicit cause per tenant."""
+        ctl = self._controller(queue_capacity=4)
+        # Burst 2: a1, b1 admitted; the rest queue interleaved.
+        result = ctl.submit_tick(
+            [("a", "a1"), ("b", "b1"), ("a", "a2"), ("b", "b2"),
+             ("a", "a3"), ("b", "b3")],
+            0.0,
+        )
+        assert result.admitted == [("a", "a1"), ("b", "b1")]
+        assert ctl.queued_items() == ["a2", "b2", "a3", "b3"]
+        # Two refilled tokens drain the two globally-oldest entries —
+        # one per tenant, not two from whichever tenant sorts first.
+        drained = ctl.pump(0.2)
+        assert drained.admitted == [("a", "a2"), ("b", "b2")]
+        # Past the deadline, the stragglers shed with the explicit cause.
+        expired = ctl.pump(1.5)
+        assert sorted(expired.shed) == [
+            ("a", "a3", SHED_DEADLINE),
+            ("b", "b3", SHED_DEADLINE),
+        ]
+        assert ctl.tenant_stats("a").shed_deadline == 1
+        assert ctl.tenant_stats("b").shed_deadline == 1
+        assert ctl.queue_depth == 0
+
+    def test_single_tenant_matches_legacy_controller(self):
+        """With one tenant the fair controller is bit-identical to the
+        legacy global bucket — the golden-counter compatibility bar."""
+        legacy = AdmissionController(
+            rate_per_s=10.0, burst=2.0, queue_capacity=3,
+            queue_deadline_s=1.0,
+        )
+        fair = self._controller()
+        rng = random.Random(11)
+        now = 0.0
+        for tick in range(200):
+            now += rng.random() * 0.2
+            items = [f"p{tick}.{i}" for i in range(rng.randrange(0, 5))]
+            admitted, shed = legacy.submit_many(list(items), now)
+            result = fair.submit_tick(
+                [(DEFAULT_TENANT, item) for item in items], now
+            )
+            assert [item for _, item in result.admitted] == admitted
+            assert sorted(item for _, item, _ in result.shed) == sorted(
+                shed
+            )
+        assert (
+            legacy.stats.submitted,
+            legacy.stats.admitted,
+            legacy.stats.queued,
+            legacy.stats.shed_full,
+            legacy.stats.shed_deadline,
+        ) == (
+            fair.stats.submitted,
+            fair.stats.admitted,
+            fair.stats.queued,
+            fair.stats.shed_full,
+            fair.stats.shed_deadline,
+        )
+        assert legacy.queued_items() == fair.queued_items()
+
+    def test_backlogged_tenant_cannot_crowd_out_another(self):
+        """Per-tenant queues: one tenant's backlog fills its own queue
+        only; a late-arriving quiet tenant still queues and drains."""
+        ctl = self._controller(queue_capacity=2)
+        result = ctl.submit_tick(
+            [("noisy", f"n{i}") for i in range(8)], 0.0
+        )
+        assert len(result.admitted) == 2  # burst
+        assert ctl.queue_depth_of("noisy") == 2
+        assert len(result.shed) == 4  # noisy's own overflow
+        late = ctl.submit_tick([("quiet", "q1")], 0.001)
+        assert not late.shed  # the quiet tenant queues despite the flood
+        assert ctl.queue_depth_of("quiet") == 1
+
+
+class TestAdaptiveHysteresis:
+    def _controller(self, initial=100.0, **kwargs):
+        defaults = dict(
+            minimum=10.0,
+            maximum=1000.0,
+            max_step_frac=0.25,
+            deadband_frac=0.2,
+            cooldown_s=1.0,
+        )
+        defaults.update(kwargs)
+        return AdaptiveController(
+            initial=initial, config=ControllerConfig(**defaults)
+        )
+
+    def test_constant_load_never_oscillates(self):
+        """On constant input the controller converges monotonically and
+        then stops: no step ever reverses direction, and once inside the
+        deadband the value is frozen — thresholds cannot flap."""
+        ctl = self._controller(initial=50.0)
+        target = 400.0
+        values = [ctl.value]
+        for step in range(1, 60):
+            values.append(ctl.update(target, float(step) * 2.0))
+        deltas = [b - a for a, b in zip(values, values[1:]) if b != a]
+        assert deltas, "controller never moved toward the target"
+        assert all(d > 0 for d in deltas)  # monotone: no direction flip
+        # Converged: the tail is constant and inside the deadband.
+        tail = values[-10:]
+        assert len(set(tail)) == 1
+        assert abs(target - tail[-1]) <= 0.2 * tail[-1]
+        # And stays frozen under continued constant load.
+        settled = tail[-1]
+        for step in range(60, 80):
+            assert ctl.update(target, float(step) * 2.0) == settled
+
+    def test_deadband_ignores_small_wobble(self):
+        """Input wobbling inside the deadband never moves the value."""
+        ctl = self._controller(initial=100.0)
+        rng = random.Random(3)
+        for step in range(1, 40):
+            wobble = 100.0 * (1.0 + (rng.random() - 0.5) * 0.3)
+            ctl.update(wobble, float(step) * 2.0)
+            assert ctl.value == 100.0
+
+    def test_step_size_is_bounded(self):
+        """A huge target error moves at most max_step_frac per update."""
+        ctl = self._controller(initial=100.0)
+        ctl.update(1000.0, 2.0)
+        assert ctl.value == 125.0  # 100 * (1 + 0.25)
+
+    def test_cooldown_rate_limits_steps(self):
+        ctl = self._controller(initial=100.0, cooldown_s=5.0)
+        assert ctl.update(1000.0, 1.0) == 125.0
+        assert ctl.update(1000.0, 2.0) == 125.0  # inside cooldown
+        assert ctl.update(1000.0, 6.5) > 125.0
+
+    def test_clamped_to_bounds(self):
+        """Targets beyond the bounds are clamped before chasing: the
+        value settles inside the deadband of the bound, never past it."""
+        ctl = self._controller(initial=20.0, minimum=10.0, maximum=30.0)
+        for step in range(1, 30):
+            ctl.update(1e9, float(step) * 2.0)
+        assert ctl.value <= 30.0
+        assert abs(30.0 - ctl.value) <= 0.2 * ctl.value  # deadband rest
+        for step in range(30, 80):
+            ctl.update(0.0, float(step) * 2.0)
+        assert ctl.value >= 10.0
+        assert abs(ctl.value - 10.0) <= 0.2 * ctl.value

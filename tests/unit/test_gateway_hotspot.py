@@ -1,7 +1,19 @@
-"""Unit tests for heavy-hitter detection (repro.gateway.hotspot)."""
+"""Unit tests for heavy-hitter detection (repro.gateway.hotspot).
+
+Includes the lock for the documented **shared-pin semantics**: the
+hotspot shield and ``LeaseCache.pin`` are tenant-blind by design — a pin
+earned by one tenant's traffic protects the lease for every tenant
+(pins donate benefit, never steal capacity), while per-tenant *blame*
+lives in the detector's tenant attribution and per-tenant fairness is
+enforced upstream at admission.  See the module docstring of
+:mod:`repro.gateway.hotspot`.
+"""
 
 import pytest
 
+from repro.core.cluster import GHBACluster
+from repro.core.config import GHBAConfig
+from repro.gateway.client import GatewayConfig, MetadataClient, Outcome
 from repro.gateway.hotspot import HotspotDetector, SpaceSavingSketch
 
 
@@ -94,3 +106,118 @@ class TestHotspotDetector:
         detector.observe("/b", 1.2)
         top = detector.top_k(2)
         assert [(h.key, h.count) for h in top] == [("/a", 3), ("/b", 1)]
+
+
+class TestTenantAttribution:
+    """Per-tenant blame for heat: who made a key hot, without changing
+    what *hot* means (the shield itself stays tenant-blind)."""
+
+    def test_counts_and_dominant_tenant(self):
+        detector = HotspotDetector(window_s=5.0, hot_threshold=3)
+        detector.observe("/hot", 0.0, tenant="u0")
+        detector.observe("/hot", 0.1, tenant="u0")
+        detector.observe("/hot", 0.2, tenant="u1")
+        assert detector.tenant_counts("/hot") == {"u0": 2, "u1": 1}
+        assert detector.dominant_tenant("/hot") == "u0"
+        assert detector.tenant_counts("/cold") == {}
+        assert detector.dominant_tenant("/cold") is None
+
+    def test_dominance_tie_breaks_by_name(self):
+        detector = HotspotDetector(window_s=5.0, hot_threshold=3)
+        detector.observe("/p", 0.0, tenant="u9")
+        detector.observe("/p", 0.1, tenant="u1")
+        assert detector.dominant_tenant("/p") == "u1"
+
+    def test_attribution_merges_epochs_and_decays(self):
+        detector = HotspotDetector(window_s=1.0, hot_threshold=2)
+        detector.observe("/a", 0.9, tenant="u0")
+        detector.observe("/a", 1.1, tenant="u1")  # rotation in between
+        assert detector.tenant_counts("/a") == {"u0": 1, "u1": 1}
+        # Two windows past the last observation both epochs have
+        # rotated away: the attribution is forgotten with the counts.
+        detector.observe("/b", 3.5, tenant="u2")
+        assert detector.tenant_counts("/a") == {}
+
+    def test_eviction_prunes_attribution(self):
+        detector = HotspotDetector(capacity=2, window_s=5.0, hot_threshold=2)
+        detector.observe("/a", 0.0, tenant="u0")
+        detector.observe("/a", 0.1, tenant="u0")
+        detector.observe("/b", 0.2, tenant="u1")
+        detector.observe("/c", 0.3, tenant="u2")  # evicts /b (min count)
+        assert detector.tenant_counts("/b") == {}
+        assert detector.dominant_tenant("/b") is None
+        # Attribution never outlives sketch membership.
+        assert detector.tenant_counts("/c") == {"u2": 1}
+
+    def test_default_tenant_when_unattributed(self):
+        detector = HotspotDetector(window_s=5.0, hot_threshold=2)
+        detector.observe("/a", 0.0)
+        assert detector.tenant_counts("/a") == {"-": 1}
+
+
+class TestSharedPinSemantics:
+    """The documented contract: hot-path pins are **tenant-blind**.
+
+    A pin earned by one tenant's traffic shields the lease for everyone
+    — it can only *add* cache residency (donate), never take another
+    tenant's admission share (fairness is enforced upstream, before the
+    cache is consulted).  Per-tenant blame stays available through the
+    detector's attribution.
+    """
+
+    def _client(self, paths, **overrides):
+        config = GHBAConfig(
+            max_group_size=4,
+            expected_files_per_mds=200,
+            lru_capacity=128,
+            lru_filter_bits=1 << 10,
+            seed=5,
+        )
+        cluster = GHBACluster(4, config, seed=5)
+        cluster.populate(paths)
+        cluster.synchronize_replicas(force=True)
+        defaults = dict(
+            cache_capacity=8,
+            lease_ttl_s=30.0,
+            hot_lease_ttl_s=60.0,
+            rate_per_s=1e6,
+            burst=1e4,
+            hot_threshold=3,
+        )
+        defaults.update(overrides)
+        return cluster, MetadataClient(cluster, GatewayConfig(**defaults))
+
+    def test_pin_earned_by_one_tenant_shields_everyone(self):
+        paths = ["/pin/hot"] + [f"/pin/cold{i}" for i in range(20)]
+        cluster, client = self._client(paths)
+        # Tenant u0's traffic crosses the shield threshold: pinned.
+        for i in range(4):
+            client.lookup("/pin/hot", 0.1 * i, tenant="u0")
+        assert client.hotspots.is_hot("/pin/hot")
+        # Tenant u1 floods 20 distinct paths through an 8-entry cache —
+        # enough churn to evict any unpinned lease.
+        for i in range(20):
+            client.lookup(f"/pin/cold{i}", 1.0 + 0.01 * i, tenant="u1")
+        # The pinned lease survived the churn and answers u1 from cache:
+        # the pin donated benefit across the tenant boundary.
+        response = client.lookup("/pin/hot", 2.0, tenant="u1")
+        assert response.outcome is Outcome.HIT
+        assert response.from_cache
+        assert response.tenant == "u1"
+        # Blame stays attributed: the heat belongs to u0.
+        assert client.hotspots.dominant_tenant("/pin/hot") == "u0"
+        assert client.hotspots.tenant_counts("/pin/hot")["u0"] >= 3
+
+    def test_unpinned_lease_is_evicted_by_the_same_churn(self):
+        """Non-vacuity: without the pin (threshold out of reach) the
+        identical churn evicts the lease — the previous test passes
+        because of the pin, not a too-large cache."""
+        paths = ["/pin/hot"] + [f"/pin/cold{i}" for i in range(20)]
+        cluster, client = self._client(paths, hot_threshold=1000)
+        for i in range(4):
+            client.lookup("/pin/hot", 0.1 * i, tenant="u0")
+        assert not client.hotspots.is_hot("/pin/hot")
+        for i in range(20):
+            client.lookup(f"/pin/cold{i}", 1.0 + 0.01 * i, tenant="u1")
+        response = client.lookup("/pin/hot", 2.0, tenant="u1")
+        assert response.outcome is not Outcome.HIT
